@@ -1,0 +1,190 @@
+"""Design-choice ablations (DESIGN.md A1–A3).
+
+A1 — §5.2 polling discipline: naive ``CkDirect_ready`` keeps every
+     channel polled through unrelated phases; the
+     ``ReadyMark``/``ReadyPollQ`` split confines the tax.
+A2 — §3 protocol structure: the packet/rendezvous crossover that
+     explains Table 1's Default-Charm++ column.
+A3 — §2.3 MPI synchronization schemes: every MPI one-sided completion
+     mechanism drags synchronization CkDirect does not need.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.bench import (
+    run_mpi_sync_ablation,
+    run_polling_ablation,
+    run_protocol_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def polling(holder={}):
+    if "r" not in holder:
+        holder["r"] = run_polling_ablation()
+    return holder["r"]
+
+
+def test_a1_polling_benchmark(benchmark, polling):
+    result = benchmark.pedantic(lambda: polling, rounds=1, iterations=1)
+    save_report("ablation_a1_polling", result["report"])
+    test_a1_naive_polling_hurts(polling)
+    test_a1_phased_beats_messages(polling)
+    test_a1_naive_erodes_most_of_the_gain(polling)
+
+
+def test_a1_naive_polling_hurts(polling):
+    """Naive polling must cost measurably more than phased polling."""
+    assert polling["naive_ms"] > polling["phased_ms"] * 1.01, (
+        f"naive ({polling['naive_ms']:.2f}ms) not worse than phased "
+        f"({polling['phased_ms']:.2f}ms)"
+    )
+
+
+def test_a1_phased_beats_messages(polling):
+    """With the ReadyMark/ReadyPollQ optimization in place, CkDirect
+    beats plain messages (the paper's resolution of its §5.2 story)."""
+    assert polling["phased_ms"] < polling["msg_ms"]
+
+
+def test_a1_naive_erodes_most_of_the_gain(polling):
+    """The §5.2 pathology: naive polling gives back a large share of
+    what CkDirect won."""
+    gain_phased = polling["msg_ms"] - polling["phased_ms"]
+    gain_naive = polling["msg_ms"] - polling["naive_ms"]
+    assert gain_naive < 0.75 * gain_phased, (
+        f"naive kept too much of the gain: {gain_naive:.2f} vs "
+        f"{gain_phased:.2f} ms"
+    )
+
+
+@pytest.fixture(scope="module")
+def protocols(holder={}):
+    if "r" not in holder:
+        holder["r"] = run_protocol_ablation()
+    return holder["r"]
+
+
+def test_a2_protocol_benchmark(benchmark, protocols):
+    result = benchmark.pedantic(lambda: protocols, rounds=1, iterations=1)
+    save_report("ablation_a2_protocols", result["report"])
+    test_a2_rendezvous_wins_large(protocols)
+    test_a2_crossover_in_band(protocols)
+
+
+def test_a2_rendezvous_wins_large(protocols):
+    """Rendezvous must beat packetization decisively at large sizes."""
+    sizes = protocols["sizes"]
+    pk = protocols["rtt_us"]["packet"]
+    rv = protocols["rtt_us"]["rendezvous"]
+    big = sizes.index(200_000)
+    small = sizes.index(10_000)
+    assert rv[big] < pk[big] * 0.85
+    assert pk[small] < rv[small], "packetization should win small sizes"
+
+
+def test_a2_crossover_in_band(protocols):
+    """The packet/rendezvous crossover falls between 20 KB and 100 KB —
+    bracketing Charm++'s 20 KB switch point (Table 1 discussion)."""
+    sizes = protocols["sizes"]
+    diffs = [
+        protocols["rtt_us"]["packet"][i] - protocols["rtt_us"]["rendezvous"][i]
+        for i in range(len(sizes))
+    ]
+    # negative (packet wins) at 10K, positive (rendezvous wins) at 70K+
+    assert diffs[sizes.index(10_000)] < 0
+    assert diffs[sizes.index(70_000)] > 0
+
+
+@pytest.fixture(scope="module")
+def mpi_sync(holder={}):
+    if "r" not in holder:
+        holder["r"] = run_mpi_sync_ablation()
+    return holder["r"]
+
+
+def test_a3_mpi_sync_benchmark(benchmark, mpi_sync):
+    result = benchmark.pedantic(lambda: mpi_sync, rounds=1, iterations=1)
+    save_report("ablation_a3_mpi_sync", result["report"])
+    test_a3_every_scheme_costs_more_than_ckdirect(mpi_sync)
+    test_a3_lock_unlock_most_expensive_p2p(mpi_sync)
+
+
+def test_a3_every_scheme_costs_more_than_ckdirect(mpi_sync):
+    """§2.3: fence is collective overkill, PSCW synchronizes the
+    sender, lock-unlock adds lock traffic — all above a bare CkDirect
+    put+detect."""
+    epoch = mpi_sync["epoch_us"]
+    ckd = epoch["ckdirect (one-way)"]
+    for scheme in ("fence", "pscw", "lock-unlock"):
+        assert epoch[scheme] > ckd, (
+            f"{scheme} ({epoch[scheme]:.2f}us) not above CkDirect ({ckd:.2f}us)"
+        )
+
+
+def test_a3_lock_unlock_most_expensive_p2p(mpi_sync):
+    epoch = mpi_sync["epoch_us"]
+    assert epoch["lock-unlock"] > epoch["pscw"]
+
+
+@pytest.fixture(scope="module")
+def vr(holder={}):
+    from repro.bench import run_vr_ablation
+
+    if "r" not in holder:
+        holder["r"] = run_vr_ablation()
+    return holder["r"]
+
+
+def test_a4_vr_benchmark(benchmark, vr):
+    result = benchmark.pedantic(lambda: vr, rounds=1, iterations=1)
+    save_report("ablation_a4_virtualization", result["report"])
+    test_a4_virtualization_helps_execution(vr)
+    test_a4_gains_grow_with_granularity(vr)
+    test_a4_ckd_tolerates_fine_grains_better(vr)
+
+
+def test_a4_virtualization_helps_execution(vr):
+    """VR > 1 beats VR = 1 for both versions (overlap), §4.1."""
+    base_msg, base_ckd = vr["msg_ms"][0], vr["ckd_ms"][0]
+    assert min(vr["msg_ms"][1:4]) < base_msg
+    assert min(vr["ckd_ms"][1:4]) < base_ckd
+
+
+def test_a4_gains_grow_with_granularity(vr):
+    """"greater percentage gains at finer granularities"."""
+    from repro.bench import shapes
+
+    shapes.assert_gains_grow_with_pes(vr["ratios"], vr["gains"], slack_pct=1.0)
+
+
+def test_a4_ckd_tolerates_fine_grains_better(vr):
+    """At the finest granularity the message version has degraded more
+    from its own optimum than the CkDirect version has."""
+    msg_penalty = vr["msg_ms"][-1] / min(vr["msg_ms"])
+    ckd_penalty = vr["ckd_ms"][-1] / min(vr["ckd_ms"])
+    assert ckd_penalty < msg_penalty
+
+
+@pytest.fixture(scope="module")
+def backward(holder={}):
+    from repro.bench import run_backward_path_ablation
+
+    if "r" not in holder:
+        holder["r"] = run_backward_path_ablation()
+    return holder["r"]
+
+
+def test_a5_backward_benchmark(benchmark, backward):
+    result = benchmark.pedantic(lambda: backward, rounds=1, iterations=1)
+    save_report("ablation_a5_backward_path", result["report"])
+    test_a5_full_beats_forward_only(backward)
+
+
+def test_a5_full_beats_forward_only(backward):
+    """Extending CkDirect into the backward path improves further —
+    the paper's §5.2 anticipation."""
+    rows = backward["step_ms"]
+    assert rows["ckd (paper)"] < rows["msg"]
+    assert rows["ckd-full (both paths)"] < rows["ckd (paper)"]

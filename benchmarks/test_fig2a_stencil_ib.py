@@ -1,0 +1,39 @@
+"""Figure 2(a) — stencil improvement on Infiniband (NCSA T3).
+
+1024×1024×512 Jacobi, virtualization ratio 8, strong scaling.  §4.1
+claims: gains grow with processor count, ≈12 % at 256 PEs.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.bench import run_fig2a, shapes
+
+
+@pytest.fixture(scope="module")
+def fig2a(holder={}):
+    if "r" not in holder:
+        holder["r"] = run_fig2a()
+    return holder["r"]
+
+
+def test_fig2a_benchmark(benchmark, fig2a):
+    result = benchmark.pedantic(lambda: fig2a, rounds=1, iterations=1)
+    save_report("fig2a_stencil_ib", result["report"])
+    test_gains_grow_with_pes(fig2a)
+    test_gain_at_256_near_paper(fig2a)
+    test_ckdirect_never_loses(fig2a)
+
+
+def test_gains_grow_with_pes(fig2a):
+    shapes.assert_gains_grow_with_pes(fig2a["pes"], fig2a["gains"])
+
+
+def test_gain_at_256_near_paper(fig2a):
+    """Paper: '≈12% savings in execution time ... on 256 processors'."""
+    idx = fig2a["pes"].index(256)
+    shapes.assert_gain_in_band(256, fig2a["gains"][idx], 8.0, 18.0, "fig2a")
+
+
+def test_ckdirect_never_loses(fig2a):
+    shapes.assert_all_nonnegative(fig2a["pes"], fig2a["gains"], label="fig2a")

@@ -1,0 +1,73 @@
+"""Figure 3 — 2048×2048 matrix multiplication, BG/P and Abe.
+
+§4.2 claims: CkDirect outperforms the message version on both
+machines; the improvement grows toward large PE counts on BG/P
+(the paper reports close to 40 % at 4096 — run ``REPRO_FULL_SCALE=1``
+for that point; our conservative model reproduces the ordering and the
+large-scale blow-up at a reduced magnitude, see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.bench import full_scale, run_fig3, shapes
+from repro.network.params import ABE, SURVEYOR
+
+
+@pytest.fixture(scope="module")
+def fig3_bgp(holder={}):
+    if "r" not in holder:
+        holder["r"] = run_fig3(SURVEYOR)
+    return holder["r"]
+
+
+@pytest.fixture(scope="module")
+def fig3_abe(holder={}):
+    if "r" not in holder:
+        holder["r"] = run_fig3(ABE)
+    return holder["r"]
+
+
+def test_fig3_bgp_benchmark(benchmark, fig3_bgp):
+    result = benchmark.pedantic(lambda: fig3_bgp, rounds=1, iterations=1)
+    save_report("fig3_matmul_bgp", result["report"])
+    test_ckdirect_wins_everywhere_bgp(fig3_bgp)
+    test_times_strong_scale_bgp(fig3_bgp)
+
+
+def test_fig3_abe_benchmark(benchmark, fig3_abe):
+    result = benchmark.pedantic(lambda: fig3_abe, rounds=1, iterations=1)
+    save_report("fig3_matmul_abe", result["report"])
+    test_ckdirect_wins_everywhere_abe(fig3_abe)
+
+
+def test_ckdirect_wins_everywhere_bgp(fig3_bgp):
+    shapes.assert_all_nonnegative(
+        fig3_bgp["pes"], fig3_bgp["gains"], slack_pct=0.5, label="fig3/bgp"
+    )
+
+
+def test_ckdirect_wins_everywhere_abe(fig3_abe):
+    shapes.assert_all_nonnegative(
+        fig3_abe["pes"], fig3_abe["gains"], slack_pct=0.5, label="fig3/abe"
+    )
+
+
+def test_times_strong_scale_bgp(fig3_bgp):
+    """Iteration time falls with PE count for both versions."""
+    for key in ("msg_ms", "ckd_ms"):
+        times = fig3_bgp[key]
+        assert all(b < a for a, b in zip(times, times[1:])), (
+            f"{key} not strong-scaling: {times}"
+        )
+
+
+def test_largest_bgp_gain_substantial(fig3_bgp):
+    """The gap blows up at the largest BG/P run (paper: ~40% at 4096;
+    our model: >=15% at the largest simulated point)."""
+    if not full_scale():
+        pytest.skip("full-scale 4096-PE point requires REPRO_FULL_SCALE=1")
+    idx = fig3_bgp["pes"].index(4096)
+    assert fig3_bgp["gains"][idx] >= 15.0, (
+        f"gain at 4096 PEs only {fig3_bgp['gains'][idx]:.1f}%"
+    )

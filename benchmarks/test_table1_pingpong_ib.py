@@ -1,0 +1,92 @@
+"""Table 1 — pingpong round-trip times on Infiniband (NCSA Abe).
+
+Regenerates all five stacks (default Charm++, CkDirect, MPICH-VMI,
+MVAPICH two-sided, MVAPICH ``MPI_Put``) across the paper's ten message
+sizes and asserts every structural claim §3 makes, plus point-wise
+tolerances against the printed table.
+"""
+
+import pytest
+
+from conftest import save_report
+from repro.bench import paper_data, run_table1, shapes
+
+
+@pytest.fixture(scope="module")
+def table1(benchmark_holder={}):
+    if "r" not in benchmark_holder:
+        benchmark_holder["r"] = run_table1(iterations=100)
+    return benchmark_holder["r"]
+
+
+def test_table1_benchmark(benchmark, table1):
+    result = benchmark.pedantic(
+        lambda: table1, rounds=1, iterations=1
+    )
+    save_report("table1_pingpong_ib", result["report"])
+    # shape checks also run here so `--benchmark-only` exercises them
+    test_ckdirect_beats_default_everywhere(table1)
+    test_gap_grows_through_packet_band(table1)
+    test_ckdirect_beats_both_mpis(table1)
+    test_mpi_put_crossover(table1)
+    for stack, tol in [("Default CHARM++", 0.12), ("CkDirect CHARM++", 0.08),
+                       ("MVAPICH", 0.18), ("MVAPICH-Put", 0.27),
+                       ("MPICH-VMI", 0.25)]:
+        test_absolute_tolerance(table1, stack, tol)
+
+
+def test_ckdirect_beats_default_everywhere(table1):
+    shapes.assert_ckdirect_always_wins(
+        table1["sizes"],
+        table1["measured"]["Default CHARM++"],
+        table1["measured"]["CkDirect CHARM++"],
+    )
+
+
+def test_gap_grows_through_packet_band(table1):
+    shapes.assert_gap_grows_through_packet_band(
+        table1["sizes"],
+        table1["measured"]["Default CHARM++"],
+        table1["measured"]["CkDirect CHARM++"],
+    )
+
+
+def test_ckdirect_beats_both_mpis(table1):
+    shapes.assert_ckdirect_beats_mpi(
+        table1["sizes"],
+        table1["measured"]["CkDirect CHARM++"],
+        {
+            "MVAPICH": table1["measured"]["MVAPICH"],
+            "MVAPICH-Put": table1["measured"]["MVAPICH-Put"],
+            "MPICH-VMI": table1["measured"]["MPICH-VMI"],
+        },
+    )
+
+
+def test_mpi_put_crossover(table1):
+    """MPI_Put overtakes two-sided only above ~70 KB (§3)."""
+    shapes.assert_put_crossover(
+        table1["sizes"],
+        table1["measured"]["MVAPICH"],
+        table1["measured"]["MVAPICH-Put"],
+    )
+
+
+@pytest.mark.parametrize(
+    "stack,tol",
+    [
+        ("Default CHARM++", 0.12),
+        ("CkDirect CHARM++", 0.08),
+        ("MVAPICH", 0.18),
+        ("MVAPICH-Put", 0.27),  # the paper's own 5 KB point is anomalous
+        ("MPICH-VMI", 0.25),  # three-regime stack; mid band is noisy
+    ],
+)
+def test_absolute_tolerance(table1, stack, tol):
+    shapes.assert_within_tolerance(
+        table1["sizes"],
+        table1["measured"][stack],
+        paper_data.TABLE1_RTT_US[stack],
+        tol,
+        f"Table1/{stack}",
+    )

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""OpenAtom PairCalculator mini-app and the §5.2 polling story.
+
+The paper's most instructive anecdote: their *initial* CkDirect port
+of OpenAtom was slower than plain messages, because every one of the
+thousands of persistent channels sat in the polling queue through all
+the phases that never touch it, taxing every scheduler iteration.  The
+fix — split ``CkDirect_ready`` into ``ReadyMark`` (cheap, do it as
+soon as the buffer is free) and ``ReadyPollQ`` (defer until the phase
+that expects data) — confines the polling cost to the PairCalculator
+phase.
+
+This example runs the mini-app three ways on the simulated Abe
+(2 cores/node, as the paper used) and prints the step times:
+
+* plain Charm++ messages,
+* CkDirect with naive polling (ready() right after consumption),
+* CkDirect with phased polling (the paper's optimization).
+
+Run:  python examples/openatom_polling.py
+"""
+
+from repro import ABE
+from repro.apps.openatom import abe_2cpn, run_openatom
+
+N_PES = 32
+
+
+def main() -> None:
+    machine = abe_2cpn(ABE)
+    print(f"OpenAtom mini-app on simulated Abe, {N_PES} PEs (2 cores/node)\n")
+
+    rows = []
+    for label, kwargs in [
+        ("charm++ messages", dict(mode="msg")),
+        ("ckdirect, naive polling", dict(mode="ckd", polling="naive")),
+        ("ckdirect, ReadyMark+ReadyPollQ", dict(mode="ckd", polling="phased")),
+    ]:
+        r = run_openatom(machine, N_PES, **kwargs)
+        rows.append((label, r.mean_step_time * 1e3))
+
+    base = rows[0][1]
+    print(f"{'variant':<34} {'step (ms)':>10} {'vs messages':>12}")
+    for label, ms in rows:
+        print(f"{label:<34} {ms:>10.2f} {100 * (1 - ms / base):>+11.1f}%")
+
+    print(
+        "\nWith naive polling every channel is scanned on every scheduler\n"
+        "iteration of every phase; the phased discipline recovers the\n"
+        "gain (paper §5.2).  Also try pc_only=True for the Figure 4(b)\n"
+        "PairCalculator-only numbers."
+    )
+
+
+if __name__ == "__main__":
+    main()

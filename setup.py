@@ -1,0 +1,6 @@
+"""Shim for editable installs in environments without the ``wheel``
+package (pip's legacy ``--no-use-pep517`` path needs a setup.py)."""
+
+from setuptools import setup
+
+setup()

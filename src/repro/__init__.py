@@ -1,0 +1,34 @@
+"""repro — a simulated reproduction of *CkDirect: Unsynchronized
+One-Sided Communication in a Message-Driven Paradigm* (ICPP 2009).
+
+Top-level packages:
+
+* :mod:`repro.sim` — deterministic discrete-event core.
+* :mod:`repro.network` — calibrated Infiniband and Blue Gene/P fabric
+  models and topologies.
+* :mod:`repro.charm` — a Charm++-style message-driven runtime.
+* :mod:`repro.ckdirect` — the CkDirect interface (the contribution).
+* :mod:`repro.mpi` — simulated MPI baselines (two-sided + RMA).
+* :mod:`repro.apps` — pingpong, 3D Jacobi stencil, 3D matmul, and the
+  OpenAtom PairCalculator mini-app (MSG and CKD variants of each).
+* :mod:`repro.bench` — the table/figure regeneration harness.
+"""
+
+__version__ = "1.0.0"
+
+from .charm import Chare, CkCallback, Payload, Runtime
+from .network import ABE, MACHINES, SURVEYOR, T3
+from .util import Buffer
+
+__all__ = [
+    "Runtime",
+    "Chare",
+    "CkCallback",
+    "Payload",
+    "Buffer",
+    "ABE",
+    "T3",
+    "SURVEYOR",
+    "MACHINES",
+    "__version__",
+]

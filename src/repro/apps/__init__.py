@@ -1,0 +1,8 @@
+"""The paper's evaluation applications: pingpong (§3), 3D Jacobi
+stencil (§4.1), 3D matrix multiplication (§4.2), and the OpenAtom
+PairCalculator mini-app (§5) — each in a default-Charm++-messages
+version and a CkDirect version."""
+
+from . import matmul, openatom, pingpong, stencil
+
+__all__ = ["pingpong", "stencil", "matmul", "openatom"]

@@ -1,0 +1,46 @@
+"""3D-decomposition matrix multiplication (paper §4.2, Figure 3)."""
+
+from .base import MATMUL_OOB, MatMulBase
+from .decomp3d import (
+    MatMulSpec,
+    block_a,
+    block_b,
+    choose_side,
+    global_a,
+    global_b,
+    slice_a,
+    slice_b,
+)
+from .driver import (
+    MODES,
+    PAPER_N,
+    MatMulResult,
+    gather_c,
+    matmul_pair,
+    reference_c,
+    run_matmul,
+)
+from .matmul_ckd import MatMulCkd
+from .matmul_msg import MatMulMsg
+
+__all__ = [
+    "run_matmul",
+    "matmul_pair",
+    "gather_c",
+    "reference_c",
+    "MatMulResult",
+    "MatMulSpec",
+    "MatMulMsg",
+    "MatMulCkd",
+    "MatMulBase",
+    "choose_side",
+    "slice_a",
+    "slice_b",
+    "block_a",
+    "block_b",
+    "global_a",
+    "global_b",
+    "MATMUL_OOB",
+    "MODES",
+    "PAPER_N",
+]

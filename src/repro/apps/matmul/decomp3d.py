@@ -1,0 +1,153 @@
+"""3D decomposition for parallel matrix multiplication (paper §4.2,
+after Agarwal et al. [1]).
+
+``N×N`` matrices over a ``c×c×c`` chare grid, block size ``n = N/c``:
+
+* chare ``(x, y, z)`` computes the partial product
+  ``A[x,z] @ B[z,y]`` (each an ``n×n`` block),
+* the input blocks are divided among the chares: ``(x, y, z)`` *owns*
+  slice ``y`` of ``A[x,z]`` (``n × n/c`` columns) and slice ``x`` of
+  ``B[z,y]`` (``n/c × n`` rows),
+* before computing, ``A[x,z]`` is replicated along the grid's Y
+  dimension (each chare sends its A-slice to the ``c-1`` chares
+  sharing its X and Z coordinates) and ``B[z,y]`` along X,
+* partial C blocks reduce along Z onto the ``z = 0`` layer.
+
+Messages per chare are ``3(c-1)`` — growing as the cube root of the
+processor count, the property the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ...sim.rng import substream
+
+ITEMSIZE = 8
+
+
+@dataclass(frozen=True)
+class MatMulSpec:
+    """Geometry of one 3D-decomposition run."""
+
+    N: int  # global matrix dimension
+    c: int  # chare grid side
+
+    def __post_init__(self) -> None:
+        if self.N % self.c:
+            raise ValueError(f"chare side {self.c} does not divide N={self.N}")
+        if self.n % self.c:
+            raise ValueError(
+                f"block size {self.n} not divisible by c={self.c}; "
+                "slices would be ragged"
+            )
+
+    @property
+    def n(self) -> int:
+        """Block dimension (each chare's DGEMM operands are n x n)."""
+        return self.N // self.c
+
+    @property
+    def slice_rows(self) -> int:
+        """Rows/cols per owned input slice (n/c)."""
+        return self.n // self.c
+
+    # byte counts ------------------------------------------------------
+
+    @property
+    def a_slice_bytes(self) -> int:
+        """Bytes of one owned A slice."""
+        return self.n * self.slice_rows * ITEMSIZE
+
+    @property
+    def b_slice_bytes(self) -> int:
+        """Bytes of one owned B slice."""
+        return self.slice_rows * self.n * ITEMSIZE
+
+    @property
+    def c_block_bytes(self) -> int:
+        """Bytes of one n x n C block."""
+        return self.n * self.n * ITEMSIZE
+
+    @property
+    def dgemm_flops(self) -> int:
+        """Floating-point operations of one block DGEMM."""
+        return 2 * self.n ** 3
+
+    # peers ------------------------------------------------------------
+
+    def a_peers(self, index: Tuple[int, int, int]) -> List[Tuple[int, int, int]]:
+        """Chares needing my A slice: same (x, z), other y."""
+        x, y, z = index
+        return [(x, yy, z) for yy in range(self.c) if yy != y]
+
+    def b_peers(self, index: Tuple[int, int, int]) -> List[Tuple[int, int, int]]:
+        """Chares needing my B slice: same (y, z), other x."""
+        x, y, z = index
+        return [(xx, y, z) for xx in range(self.c) if xx != x]
+
+    def c_root(self, index: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Where this chare's partial C reduces to."""
+        x, y, _z = index
+        return (x, y, 0)
+
+
+def choose_side(N: int, n_pes: int) -> int:
+    """Smallest chare-grid side whose cube holds >= one chare per PE
+    while dividing the matrix (and keeping slices whole)."""
+    c = 2
+    while c ** 3 < n_pes or N % c or (N // c) % c:
+        c += 1
+        if c > N:
+            raise ValueError(f"no valid chare side for N={N}, P={n_pes}")
+    return c
+
+
+def block_a(spec: MatMulSpec, x: int, z: int, seed: int) -> np.ndarray:
+    """Deterministic A[x,z] block (assembled from its slices)."""
+    return np.concatenate(
+        [slice_a(spec, (x, y, z), seed) for y in range(spec.c)], axis=1
+    )
+
+
+def block_b(spec: MatMulSpec, z: int, y: int, seed: int) -> np.ndarray:
+    """Deterministic B[z,y] block (assembled from its slices)."""
+    return np.concatenate(
+        [slice_b(spec, (x, y, z), seed) for x in range(spec.c)], axis=0
+    )
+
+
+def slice_a(spec: MatMulSpec, index: Tuple[int, int, int], seed: int) -> np.ndarray:
+    """The A-slice chare ``index`` owns: columns ``y`` of A[x,z]."""
+    x, y, z = index
+    rng = substream(seed, 0, x, y, z)
+    return rng.random((spec.n, spec.slice_rows))
+
+def slice_b(spec: MatMulSpec, index: Tuple[int, int, int], seed: int) -> np.ndarray:
+    """The B-slice chare ``index`` owns: rows ``x`` of B[z,y]."""
+    x, y, z = index
+    rng = substream(seed, 1, x, y, z)
+    return rng.random((spec.slice_rows, spec.n))
+
+
+def global_a(spec: MatMulSpec, seed: int) -> np.ndarray:
+    """The full A matrix implied by the per-chare slices."""
+    rows = []
+    for x in range(spec.c):
+        rows.append(
+            np.concatenate([block_a(spec, x, z, seed) for z in range(spec.c)], axis=1)
+        )
+    return np.concatenate(rows, axis=0)
+
+
+def global_b(spec: MatMulSpec, seed: int) -> np.ndarray:
+    """The full B matrix implied by the per-chare slices."""
+    rows = []
+    for z in range(spec.c):
+        rows.append(
+            np.concatenate([block_b(spec, z, y, seed) for y in range(spec.c)], axis=1)
+        )
+    return np.concatenate(rows, axis=0)

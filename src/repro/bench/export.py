@@ -1,0 +1,88 @@
+"""Machine-readable export of bench results.
+
+The harness runners return plain dicts; these helpers flatten them
+into CSV rows so regenerated tables/figures can be diffed, plotted, or
+tracked across parameter changes without parsing the ASCII reports.
+
+Two result shapes exist and both are handled:
+
+* **table** results (``run_table1``/``run_table2``): rows are
+  ``(stack, nbytes, rtt_us_ours, rtt_us_paper)``;
+* **series** results (the figure/ablation runners): one row per x
+  value with one column per series.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, Optional, Sequence, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+def export_table_csv(result: Dict, path: PathLike) -> pathlib.Path:
+    """Write a pingpong-table result to CSV; returns the path."""
+    path = pathlib.Path(path)
+    sizes: Sequence[int] = result["sizes"]
+    measured: Dict[str, Sequence[float]] = result["measured"]
+    paper: Optional[Dict[str, Sequence[float]]] = result.get("paper")
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["stack", "nbytes", "rtt_us", "paper_rtt_us"])
+        for stack, vals in measured.items():
+            ref = paper.get(stack) if paper else None
+            for i, size in enumerate(sizes):
+                writer.writerow([
+                    stack, size, f"{vals[i]:.6f}",
+                    f"{ref[i]:.6f}" if ref else "",
+                ])
+    return path
+
+
+def export_series_csv(
+    result: Dict, path: PathLike, x_key: str = "pes"
+) -> pathlib.Path:
+    """Write a figure/ablation series result to CSV.
+
+    ``x_key`` names the x-axis list in the result dict (``pes`` for
+    the figures, ``ratios`` for the VR ablation, ``sizes`` for the
+    protocol ablation).  Every other list-valued entry of matching
+    length becomes a column.
+    """
+    path = pathlib.Path(path)
+    xs = result[x_key]
+    columns = {
+        key: vals
+        for key, vals in result.items()
+        if key != x_key
+        and isinstance(vals, (list, tuple))
+        and len(vals) == len(xs)
+        and all(isinstance(v, (int, float)) for v in vals)
+    }
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_key] + list(columns))
+        for i, x in enumerate(xs):
+            writer.writerow([x] + [f"{columns[k][i]:.6f}" for k in columns])
+    return path
+
+
+def export_all(results_dir: PathLike, out_dir: Optional[PathLike] = None) -> list:
+    """Regenerate Tables 1-2 and Figures 2a/2b quickly and export them
+    as CSV into ``out_dir`` (defaults to ``results_dir``).
+
+    A convenience for one-command data dumps; the full benchmark suite
+    remains the canonical regeneration path.
+    """
+    from .harness import run_fig2a, run_fig2b, run_table1, run_table2
+
+    results_dir = pathlib.Path(results_dir)
+    out = pathlib.Path(out_dir) if out_dir is not None else results_dir
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    written.append(export_table_csv(run_table1(iterations=50), out / "table1.csv"))
+    written.append(export_table_csv(run_table2(iterations=50), out / "table2.csv"))
+    written.append(export_series_csv(run_fig2a(), out / "fig2a.csv"))
+    written.append(export_series_csv(run_fig2b(), out / "fig2b.csv"))
+    return written

@@ -1,0 +1,59 @@
+"""The paper's reported numbers, transcribed for side-by-side reports.
+
+Tables 1 and 2 are reproduced verbatim from the paper (round-trip
+microseconds).  The figures are plots without printed values, so for
+them we record the *shape claims* the text makes (see
+:mod:`repro.bench.shapes`) rather than invented numbers.
+"""
+
+from __future__ import annotations
+
+#: Message sizes used by the pingpong tables, in user-data bytes
+#: (the table headers are in units of 10^3 B).
+PINGPONG_SIZES = [100, 1_000, 5_000, 10_000, 20_000, 30_000, 40_000, 70_000, 100_000, 500_000]
+
+#: Table 1 — round-trip time (us) on Infiniband (NCSA Abe).
+TABLE1_RTT_US = {
+    "Default CHARM++": [22.924, 25.110, 47.340, 66.176, 96.215, 160.470,
+                        191.343, 271.803, 353.305, 1399.145],
+    "CkDirect CHARM++": [12.383, 16.108, 29.330, 43.136, 68.927, 93.422,
+                         120.954, 195.248, 275.322, 1294.358],
+    "MPICH-VMI": [12.367, 19.669, 37.318, 60.892, 102.684, 127.591,
+                  201.148, 322.687, 332.690, 1396.942],
+    "MVAPICH": [12.302, 19.436, 37.311, 56.249, 88.659, 119.452,
+                144.973, 236.545, 315.692, 1386.051],
+    "MVAPICH-Put": [16.801, 22.821, 51.750, 64.202, 94.250, 120.218,
+                    146.028, 232.021, 308.942, 1369.516],
+}
+
+#: Table 2 — round-trip time (us) on Blue Gene/P (ANL Surveyor).
+TABLE2_RTT_US = {
+    "Default CHARM++": [14.467, 20.822, 44.822, 72.976, 128.166, 186.771,
+                        240.306, 400.226, 560.634, 2693.601],
+    "CkDirect CHARM++": [5.133, 11.379, 33.112, 60.675, 115.103, 169.552,
+                         223.599, 383.732, 543.491, 2677.072],
+    "MPI": [7.606, 13.936, 39.903, 66.661, 120.548, 173.041,
+            226.739, 386.712, 546.740, 2680.459],
+    "MPI-Put": [14.049, 17.836, 39.963, 67.972, 122.693, 178.571,
+                232.629, 392.388, 552.708, 2685.972],
+}
+
+#: Claims the evaluation text makes about the figures (the quantities
+#: our shape assertions enforce).
+FIGURE_CLAIMS = {
+    "fig2a": "Stencil on Infiniband: % improvement grows with PE count; "
+             "~12% at 256 PEs (virtualization ratio 8, 1024x1024x512).",
+    "fig2b": "Stencil on BG/P: improvements grow from 64 through 4096 PEs; "
+             "smaller than Infiniband at equal P (no one-sided primitive).",
+    "fig3": "Matmul (2048^2): CkDirect outperforms messages on both "
+            "machines; the absolute gap grows with P; ~40% at 4K on BG/P.",
+    "fig4": "OpenAtom on Abe (2 cores/node): ~4% full-application "
+            "improvement, up to ~14% for PairCalculator-only runs.",
+    "fig5": "OpenAtom on BG/P: CkDirect slightly faster at all PE counts; "
+            "PC-only benefit most substantial at the largest run.",
+    "sec5.2": "Naive polling (CkDirect_ready everywhere) degrades the "
+              "CkDirect OpenAtom version; ReadyMark+ReadyPollQ restores it.",
+}
+
+#: DCMF one-way latency the paper quotes for context (us).
+DCMF_ONE_WAY_US = 1.9

@@ -1,0 +1,189 @@
+"""Chare arrays and proxies.
+
+A :class:`ChareArray` is an N-dimensional collection of chares spread
+over the machine by a :class:`~repro.charm.mapping.Mapping`.  Elements
+are addressed through the array's :class:`ArrayProxy`:
+
+``arr.proxy[(i, j)].method(a, b)`` sends a message invoking
+``method(a, b)`` on element ``(i, j)``; ``arr.proxy.bcast("go")``
+invokes ``go()`` on every element via a spanning tree over the home
+PEs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple, Type
+
+import numpy as np
+
+from .chare import Chare
+from .errors import CharmError, MappingError
+from .mapping import BlockMap, Mapping, linear_index
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pe import PE
+    from .runtime import Runtime
+    from .section import ArraySection
+
+
+def normalize(index) -> Tuple[int, ...]:
+    """Accept ints, numpy ints, lists, tuples; always store tuples."""
+    if isinstance(index, (int, np.integer)):
+        return (int(index),)
+    return tuple(int(i) for i in index)
+
+
+class ElementProxy:
+    """Callable handle on one array element."""
+
+    __slots__ = ("_array", "_index")
+
+    def __init__(self, array: "ChareArray", index: Tuple[int, ...]) -> None:
+        self._array = array
+        self._index = index
+
+    @property
+    def index(self) -> Tuple[int, ...]:
+        """This proxy's element index."""
+        return self._index
+
+    def __getattr__(self, method: str):
+        if method.startswith("_"):
+            raise AttributeError(method)
+        array, index = self._array, self._index
+
+        def _send(*args: Any) -> None:
+            array.rt.send(array, index, method, args)
+
+        _send.__name__ = f"send_{method}"
+        return _send
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ElementProxy array{self._array.id}{self._index}>"
+
+
+class ArrayProxy:
+    """Handle on a whole chare array."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: "ChareArray") -> None:
+        self._array = array
+
+    def __getitem__(self, index) -> ElementProxy:
+        return ElementProxy(self._array, self._array.normalize_index(index))
+
+    def bcast(self, method: str, *args: Any) -> None:
+        """Invoke an entry method on every member."""
+        self._array.rt.bcast(self._array, method, args)
+
+    @property
+    def array(self) -> "ChareArray":
+        """The underlying chare array."""
+        return self._array
+
+
+class ChareArray:
+    """An N-dimensional array of chares."""
+
+    def __init__(
+        self,
+        rt: "Runtime",
+        array_id: int,
+        cls: Type[Chare],
+        dims: Tuple[int, ...],
+        ctor_args: tuple = (),
+        ctor_kwargs: dict | None = None,
+        mapping: Mapping | None = None,
+        internal: bool = False,
+    ) -> None:
+        if not dims or any(d <= 0 for d in dims):
+            raise CharmError(f"invalid array dims {dims!r}")
+        if not (isinstance(cls, type) and issubclass(cls, Chare)):
+            raise CharmError(f"{cls!r} is not a Chare subclass")
+        self.rt = rt
+        self.id = array_id
+        self.cls = cls
+        self.dims = tuple(int(d) for d in dims)
+        self.mapping = mapping if mapping is not None else BlockMap()
+        self.internal = internal
+        self.proxy = ArrayProxy(self)
+
+        self.elements: Dict[Tuple[int, ...], Chare] = {}
+        self.local_elements: Dict[int, List[Tuple[int, ...]]] = {}
+        n_pes = rt.n_pes
+        kwargs = ctor_kwargs or {}
+        for index in itertools.product(*(range(d) for d in self.dims)):
+            pe_rank = self.mapping.pe_for(index, self.dims, n_pes)
+            if not (0 <= pe_rank < n_pes):
+                raise MappingError(f"map sent {index} to PE {pe_rank}")
+            pe = rt.pes[pe_rank]
+            elem = cls.__new__(cls)
+            elem._bind(rt, self, index, pe)
+            elem.__init__(*ctor_args, **kwargs)
+            self.elements[index] = elem
+            self.local_elements.setdefault(pe_rank, []).append(index)
+        #: sorted PE ranks hosting at least one element — the node set
+        #: for this array's reduction / broadcast spanning tree.
+        self.home_pes: List[int] = sorted(self.local_elements)
+        self._home_pos = {pe: i for i, pe in enumerate(self.home_pes)}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of elements/members."""
+        return int(np.prod(self.dims))
+
+    def normalize_index(self, index) -> Tuple[int, ...]:
+        """Canonical tuple form of an element index (bounds-checked)."""
+        idx = normalize(index)
+        linear_index(idx, self.dims)  # bounds check
+        return idx
+
+    def element(self, index) -> Chare:
+        """The chare object at an index (host-side introspection)."""
+        return self.elements[self.normalize_index(index)]
+
+    def pe_of(self, index) -> int:
+        """Home PE rank of an element index."""
+        return self.mapping.pe_for(self.normalize_index(index), self.dims, self.rt.n_pes)
+
+    def local_count(self, pe_rank: int) -> int:
+        """Number of members hosted on a PE."""
+        return len(self.local_elements.get(pe_rank, ()))
+
+    # Spanning-tree structure (binomial over home-PE positions) ----------
+
+    def tree_parent(self, pe_rank: int) -> int | None:
+        """Parent PE in the binomial tree, or None at the root."""
+        from .section import binomial_parent
+
+        parent_pos = binomial_parent(self._home_pos[pe_rank])
+        return None if parent_pos is None else self.home_pes[parent_pos]
+
+    def tree_children(self, pe_rank: int) -> List[int]:
+        """Child PEs in the binomial tree (positions whose parent —
+        lowest set bit cleared — is this node's position)."""
+        from .section import binomial_children
+
+        return [
+            self.home_pes[c]
+            for c in binomial_children(
+                self._home_pos[pe_rank], len(self.home_pes)
+            )
+        ]
+
+    @property
+    def base_array(self) -> "ChareArray":
+        """The array collective deliveries target (self; sections
+        return their parent array)."""
+        return self
+
+    def section(self, indices) -> "ArraySection":
+        """Create a registered section over ``indices`` of this array."""
+        return self.rt.create_section(self, indices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChareArray #{self.id} {self.cls.__name__}{self.dims}>"

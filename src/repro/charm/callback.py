@@ -1,0 +1,94 @@
+"""CkCallback: a deliverable continuation.
+
+Reductions, application completion notifications, and CkDirect all
+need "something to invoke with a value later".  A :class:`CkCallback`
+names one of:
+
+* a **host** function — runs outside any PE at the completion instant
+  (used by drivers to record results; costs nothing, like the
+  bookkeeping a real driver does off the critical path),
+* a **send** — an entry method on one chare-array element,
+* a **bcast** — an entry method on every element of an array,
+* **ignore** — discard the value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+from .errors import CharmError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .array import ChareArray
+    from .runtime import Runtime
+
+
+class CkCallback:
+    """A deliverable continuation (host / send / bcast / ignore)."""
+    KINDS = ("host", "send", "bcast", "ignore")
+
+    def __init__(
+        self,
+        kind: str,
+        fn: Optional[Callable[..., Any]] = None,
+        array: Optional["ChareArray"] = None,
+        index: Optional[Tuple[int, ...]] = None,
+        method: Optional[str] = None,
+    ) -> None:
+        if kind not in self.KINDS:
+            raise CharmError(f"unknown callback kind {kind!r}")
+        if kind == "host" and fn is None:
+            raise CharmError("host callback needs fn=")
+        if kind in ("send", "bcast") and (array is None or method is None):
+            raise CharmError(f"{kind} callback needs array= and method=")
+        if kind == "send" and index is None:
+            raise CharmError("send callback needs index=")
+        self.kind = kind
+        self.fn = fn
+        self.array = array
+        self.index = index
+        self.method = method
+
+    # Convenience constructors ------------------------------------------------
+
+    @classmethod
+    def host(cls, fn: Callable[..., Any]) -> "CkCallback":
+        """Callback running a host function."""
+        return cls("host", fn=fn)
+
+    @classmethod
+    def send(cls, array: "ChareArray", index, method: str) -> "CkCallback":
+        """Callback invoking an entry method on one element."""
+        return cls("send", array=array, index=array.normalize_index(index), method=method)
+
+    @classmethod
+    def bcast(cls, array: "ChareArray", method: str) -> "CkCallback":
+        """Invoke an entry method on every member."""
+        return cls("bcast", array=array, method=method)
+
+    @classmethod
+    def ignore(cls) -> "CkCallback":
+        """Callback that discards the value."""
+        return cls("ignore")
+
+    # ------------------------------------------------------------------
+
+    def invoke(self, rt: "Runtime", value: Any = None) -> None:
+        """Fire the callback from the current execution context."""
+        if self.kind == "ignore":
+            return
+        if self.kind == "host":
+            rt.host_call(self.fn, value)
+            return
+        args = () if value is None else (value,)
+        if self.kind == "send":
+            rt.send(self.array, self.index, self.method, args)
+        else:  # bcast
+            rt.bcast(self.array, self.method, args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == "host":
+            return f"<CkCallback host {getattr(self.fn, '__name__', self.fn)!r}>"
+        if self.kind == "ignore":
+            return "<CkCallback ignore>"
+        return f"<CkCallback {self.kind} array{self.array.id}.{self.method}>"

@@ -1,0 +1,26 @@
+"""Runtime error types."""
+
+from __future__ import annotations
+
+
+class CharmError(RuntimeError):
+    """Base class for runtime misuse and internal errors."""
+
+
+class EntryMethodError(CharmError):
+    """Raised when an entry-method invocation cannot be completed
+    (unknown method, exception inside user code is re-raised as-is)."""
+
+
+class MappingError(CharmError):
+    """Raised for invalid chare-to-PE mappings."""
+
+
+class ReductionError(CharmError):
+    """Raised for reduction misuse (mismatched reducers, double
+    contribution in one reduction epoch, unknown reducer name)."""
+
+
+class ContextError(CharmError):
+    """Raised when an operation requiring a PE execution context is
+    attempted from host code (or vice versa)."""

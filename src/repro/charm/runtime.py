@@ -1,0 +1,281 @@
+"""The runtime: machine instantiation, sends, broadcasts, execution.
+
+A :class:`Runtime` owns a :class:`~repro.sim.Simulator`, one fabric, a
+set of :class:`~repro.charm.pe.PE`\\ s, and the chare arrays created on
+them.  Host code (the "mainchare" role) builds arrays, injects initial
+messages, then calls :meth:`run`; the simulation completes when no
+events remain — message-driven programs terminate by falling silent.
+
+Typical driver::
+
+    rt = Runtime(ABE, n_pes=64)
+    arr = rt.create_array(MyChare, dims=(8, 8), ctor_args=(...,))
+    arr.proxy.bcast("start")
+    rt.run()
+    print(rt.now, rt.trace.summary())
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .section import ArraySection
+
+from ..network import Fabric, MachineParams, make_fabric
+from ..sim import Simulator, Trace
+from .array import ChareArray
+from .callback import CkCallback
+from .chare import Chare
+from .errors import CharmError, ContextError, EntryMethodError
+from .mapping import CustomMap, Mapping
+from .message import Message, Payload, payload_bytes, unwrap_args, wrap_args
+from .pe import PE
+from .reduction import CONTROL_BYTES, ReductionManager
+
+
+class _PEAgent(Chare):
+    """Internal per-PE runtime agent carrying collectives traffic."""
+
+    def _reduction_partial(self, array_id, seq, child_pe, value, reducer):
+        self.rt.reductions.receive_partial(array_id, seq, child_pe, value, reducer)
+
+    def _bcast_stage(self, collective_id, method, args):
+        rt = self.rt
+        collective = rt.collective(collective_id)
+        me = self.my_pe
+        nbytes = CONTROL_BYTES + payload_bytes(args)
+        for child in collective.tree_children(me):
+            rt.send(
+                rt.agents,
+                (child,),
+                "_bcast_stage",
+                (collective_id, method, args),
+                internal=True,
+                nbytes_override=nbytes,
+            )
+        target = collective.base_array
+        for idx in collective.local_elements.get(me, ()):
+            rt.send(target, idx, method, args)
+
+
+class Runtime:
+    """A simulated Charm++-style runtime instance."""
+
+    def __init__(
+        self,
+        machine: MachineParams,
+        n_pes: int,
+        record_samples: bool = False,
+    ) -> None:
+        if n_pes <= 0:
+            raise CharmError(f"n_pes must be positive, got {n_pes}")
+        self.machine = machine
+        self.sim = Simulator()
+        self.trace = Trace(record_samples=record_samples)
+        self.fabric: Fabric = make_fabric(self.sim, machine, n_pes, self.trace)
+        self.n_pes = n_pes
+        self.pes: List[PE] = [PE(self, r) for r in range(n_pes)]
+        self.arrays: Dict[int, ChareArray] = {}
+        self.sections: Dict[int, "ArraySection"] = {}
+        self._next_array_id = 1
+        self.reductions = ReductionManager(self)
+        self._pe_stack: List[PE] = []
+        #: the internal agent array: one element per PE, identity-mapped.
+        self.agents = self.create_array(
+            _PEAgent, dims=(n_pes,), mapping=CustomMap(lambda idx, dims, n: idx[0]),
+            internal=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def create_array(
+        self,
+        cls: Type[Chare],
+        dims: Tuple[int, ...],
+        ctor_args: tuple = (),
+        ctor_kwargs: Optional[dict] = None,
+        mapping: Optional[Mapping] = None,
+        internal: bool = False,
+    ) -> ChareArray:
+        """Create a chare array; elements are constructed immediately."""
+        aid = self._next_array_id
+        self._next_array_id += 1
+        arr = ChareArray(
+            self, aid, cls, tuple(dims), ctor_args, ctor_kwargs, mapping, internal
+        )
+        self.arrays[aid] = arr
+        return arr
+
+    def create_section(self, array: ChareArray, indices) -> "ArraySection":
+        """Register a section (sub-array collective) over ``indices``."""
+        from .section import ArraySection
+
+        sid = self._next_array_id
+        self._next_array_id += 1
+        section = ArraySection(sid, array, indices)
+        self.sections[sid] = section
+        return section
+
+    def collective(self, collective_id: int):
+        """Resolve an array or section by collective id."""
+        got = self.arrays.get(collective_id) or self.sections.get(collective_id)
+        if got is None:
+            raise CharmError(f"unknown collective id {collective_id}")
+        return got
+
+    # ------------------------------------------------------------------
+    # Execution context
+    # ------------------------------------------------------------------
+
+    @property
+    def current_pe(self) -> Optional[PE]:
+        """The PE whose context is executing, or None in host code."""
+        return self._pe_stack[-1] if self._pe_stack else None
+
+    def _enter_pe(self, pe: PE) -> None:
+        self._pe_stack.append(pe)
+
+    def _exit_pe(self) -> None:
+        self._pe_stack.pop()
+
+    def host_call(self, fn, *args: Any) -> None:
+        """Run ``fn`` outside any PE at the current simulated instant.
+
+        The call fires as its own simulator event, which always runs at
+        top level — by then no PE context is active.
+        """
+        pe = self.current_pe
+        at = pe.cursor if pe is not None else self.sim.now
+        self.sim.at(at, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        array: ChareArray,
+        index,
+        method: str,
+        args: tuple = (),
+        internal: bool = False,
+        nbytes_override: Optional[int] = None,
+    ) -> None:
+        """Send an entry-method invocation to one array element.
+
+        From a PE context this charges the sender's software overhead
+        (and marshalling copies for packed payloads) and the transfer
+        begins at the sender's local cursor.  From host code it is an
+        injection at the current simulated time, free of charge — the
+        bootstrap path.
+        """
+        idx = array.normalize_index(index)
+        args = wrap_args(args)
+        nbytes = nbytes_override if nbytes_override is not None else payload_bytes(args)
+        dst_rank = array.pe_of(idx)
+        src = self.current_pe
+        charm = self.machine.charm
+
+        if src is not None:
+            for a in args:
+                if isinstance(a, Payload) and a.pack and a.nbytes:
+                    src.charge(charm.copy_base + a.nbytes * charm.copy_per_byte)
+                    self.trace.count("charm.pack_copies")
+            src.charge(charm.send_overhead)
+            args = tuple(a.marshalled() if isinstance(a, Payload) else a for a in args)
+            start = src.cursor
+            src_rank: Optional[int] = src.rank
+        else:
+            start = self.sim.now
+            src_rank = None
+
+        msg = Message(array.id, idx, method, args, nbytes, src_rank, start, internal)
+        self.trace.count("charm.msgs_sent")
+        self.trace.count("charm.msg_bytes", nbytes)
+        dst_pe = self.pes[dst_rank]
+        if src_rank is None or src_rank == dst_rank:
+            # Host injection or PE-local delivery: straight to the queue.
+            self.sim.at(start, dst_pe.enqueue, msg)
+        else:
+            self.fabric.charm_transport(
+                src_rank, dst_rank, nbytes, start, lambda: dst_pe.enqueue(msg)
+            )
+
+    def bcast(self, array, method: str, args: tuple = ()) -> None:
+        """Invoke ``method`` on every member of an array *or section*
+        via its home-PE tree."""
+        args = wrap_args(args)
+        # Marshal once; down-tree stages must not re-charge packing.
+        if self.current_pe is not None:
+            charm = self.machine.charm
+            for a in args:
+                if isinstance(a, Payload) and a.pack and a.nbytes:
+                    self.current_pe.charge(
+                        charm.copy_base + a.nbytes * charm.copy_per_byte
+                    )
+                    self.trace.count("charm.pack_copies")
+        args = tuple(a.marshalled() if isinstance(a, Payload) else a for a in args)
+        root = array.home_pes[0]
+        self.send(
+            self.agents,
+            (root,),
+            "_bcast_stage",
+            (array.id, method, args),
+            internal=True,
+            nbytes_override=CONTROL_BYTES + payload_bytes(args),
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery (called by PEs)
+    # ------------------------------------------------------------------
+
+    def _deliver(self, pe: PE, msg: Message) -> None:
+        array = self.arrays.get(msg.array_id)
+        if array is None:
+            raise EntryMethodError(f"message for unknown array {msg.array_id}")
+        elem = array.elements.get(msg.index)
+        if elem is None:
+            raise EntryMethodError(
+                f"message for missing element {msg.index} of array {msg.array_id}"
+            )
+        entry = getattr(elem, msg.method, None)
+        if entry is None or not callable(entry):
+            raise EntryMethodError(
+                f"{type(elem).__name__} has no entry method {msg.method!r}"
+            )
+        self._enter_pe(pe)
+        try:
+            entry(*unwrap_args(msg.args))
+        finally:
+            self._exit_pe()
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.sim.now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation; returns the final simulated time."""
+        self.sim.run(until=until, max_events=max_events)
+        return self.sim.now
+
+    @property
+    def makespan(self) -> float:
+        """End of all activity: the last event or the furthest busy
+        frontier (compute charges extend past the final event)."""
+        frontier = max((pe.busy_until for pe in self.pes), default=0.0)
+        return max(self.sim.now, frontier)
+
+    def utilization(self) -> float:
+        """Mean fraction of the makespan PEs spent busy."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return sum(pe.busy_time for pe in self.pes) / (self.n_pes * span)

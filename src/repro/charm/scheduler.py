@@ -1,0 +1,71 @@
+"""Scheduler queue and direct-delivery items.
+
+The message-driven scheduler on each PE owns a FIFO
+:class:`SchedulerQueue`.  Queue occupancy is tracked because it is a
+first-order effect in the paper: finer-grained decompositions put more
+messages in flight, raising queue occupancy and hence total scheduling
+overhead — the overhead CkDirect bypasses.
+
+:class:`DirectItem` models work delivered *around* the scheduler
+queue: on Blue Gene/P the DCMF receive-completion callback invokes the
+CkDirect user callback directly, paying the low-level handler cost but
+no scheduling cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque
+
+from .message import Message
+
+
+class SchedulerQueue:
+    """FIFO of pending messages with occupancy statistics."""
+
+    __slots__ = ("_q", "enqueued", "max_occupancy", "occupancy_sum", "dequeues")
+
+    def __init__(self) -> None:
+        self._q: Deque[Message] = deque()
+        self.enqueued = 0
+        self.dequeues = 0
+        self.max_occupancy = 0
+        self.occupancy_sum = 0  # summed at dequeue: mean = sum/dequeues
+
+    def push(self, msg: Message) -> None:
+        """Append a message (FIFO) and update occupancy stats."""
+        self._q.append(msg)
+        self.enqueued += 1
+        if len(self._q) > self.max_occupancy:
+            self.max_occupancy = len(self._q)
+
+    def pop(self) -> Message:
+        """Remove and return the oldest message."""
+        self.occupancy_sum += len(self._q)
+        self.dequeues += 1
+        return self._q.popleft()
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Mean queue depth observed at dequeue times."""
+        return self.occupancy_sum / self.dequeues if self.dequeues else 0.0
+
+
+class DirectItem:
+    """A completion delivered around the scheduler (BG/P CkDirect path).
+
+    ``cost`` is charged on the PE before ``fn`` runs; ``fn`` executes
+    in the PE's context and may itself charge further time or send.
+    """
+
+    __slots__ = ("cost", "fn")
+
+    def __init__(self, cost: float, fn: Callable[[], None]) -> None:
+        self.cost = cost
+        self.fn = fn

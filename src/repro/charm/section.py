@@ -1,0 +1,126 @@
+"""Array sections: collectives over a subset of a chare array.
+
+A section is a named subset of an array's elements with its own
+spanning tree over the PEs that host members.  Sections support the
+same collective operations as whole arrays — broadcast
+(:meth:`ArraySection.bcast`, a *section multicast*) and reductions
+(``chare.contribute(..., section=...)``) — which is how production
+Charm++ codes like OpenAtom address "all PairCalculators in one plane"
+without touching the rest of the array.
+
+Construction: ``section = array.section(indices)``.  Sections are
+registered with the runtime and share the reduction machinery with
+whole arrays (both expose the same collective interface: ``id``,
+``home_pes``, ``local_elements``, ``local_count``, ``tree_parent``,
+``tree_children``, ``base_array``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from .errors import CharmError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .array import ChareArray
+
+
+def binomial_parent(pos: int) -> int | None:
+    """Parent position in a binomial tree (lowest set bit cleared)."""
+    if pos == 0:
+        return None
+    return pos & (pos - 1)
+
+
+def binomial_children(pos: int, n: int) -> List[int]:
+    """Child positions: ``pos | bit`` for each bit below ``pos``'s
+    lowest set bit (all bits, for the root)."""
+    children = []
+    bit = 1
+    while bit < n:
+        if pos & bit:
+            break
+        child = pos | bit
+        if child < n:
+            children.append(child)
+        bit <<= 1
+    return children
+
+
+class ArraySection:
+    """A collective view over a subset of one chare array."""
+
+    def __init__(
+        self,
+        section_id: int,
+        array: "ChareArray",
+        indices: Sequence,
+    ) -> None:
+        normalized = []
+        seen = set()
+        for idx in indices:
+            norm = array.normalize_index(idx)
+            if norm not in seen:
+                seen.add(norm)
+                normalized.append(norm)
+        if not normalized:
+            raise CharmError("a section needs at least one member")
+        self.id = section_id
+        self.array = array
+        self.indices: Tuple[Tuple[int, ...], ...] = tuple(normalized)
+        self.index_set = frozenset(normalized)
+
+        self.local_elements: Dict[int, List[Tuple[int, ...]]] = {}
+        for idx in self.indices:
+            pe = array.pe_of(idx)
+            self.local_elements.setdefault(pe, []).append(idx)
+        self.home_pes: List[int] = sorted(self.local_elements)
+        self._home_pos = {pe: i for i, pe in enumerate(self.home_pes)}
+
+    # ------------------------------------------------------------------
+    # The collective interface (shared with ChareArray)
+    # ------------------------------------------------------------------
+
+    @property
+    def base_array(self) -> "ChareArray":
+        """The array collective deliveries target."""
+        return self.array
+
+    @property
+    def size(self) -> int:
+        """Number of elements/members."""
+        return len(self.indices)
+
+    def contains(self, index) -> bool:
+        """True when the index is a member of this section."""
+        return self.array.normalize_index(index) in self.index_set
+
+    def local_count(self, pe_rank: int) -> int:
+        """Number of members hosted on a PE."""
+        return len(self.local_elements.get(pe_rank, ()))
+
+    def tree_parent(self, pe_rank: int) -> int | None:
+        """Parent PE in the collective's binomial tree (None at root)."""
+        parent_pos = binomial_parent(self._home_pos[pe_rank])
+        return None if parent_pos is None else self.home_pes[parent_pos]
+
+    def tree_children(self, pe_rank: int) -> List[int]:
+        """Child PEs in the collective's binomial tree."""
+        return [
+            self.home_pes[c]
+            for c in binomial_children(self._home_pos[pe_rank], len(self.home_pes))
+        ]
+
+    # ------------------------------------------------------------------
+    # Collective operations
+    # ------------------------------------------------------------------
+
+    def bcast(self, method: str, *args) -> None:
+        """Section multicast: invoke ``method`` on every member."""
+        self.array.rt.bcast(self, method, args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ArraySection #{self.id} of array{self.array.id} "
+            f"({len(self.indices)} members on {len(self.home_pes)} PEs)>"
+        )

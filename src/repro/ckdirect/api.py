@@ -1,0 +1,259 @@
+"""The CkDirect interface (paper §2, Figure 1).
+
+Function-per-function mirror of the paper's API:
+
+=====================  =============================================
+Paper name             Here
+=====================  =============================================
+CkDirect_createHandle  :func:`create_handle`
+CkDirect_assocLocal    :func:`assoc_local`
+CkDirect_put           :func:`put`
+CkDirect_ready         :func:`ready`
+CkDirect_readyMark     :func:`ready_mark`
+CkDirect_readyPollQ    :func:`ready_poll_q`
+=====================  =============================================
+
+CamelCase aliases with the original names are exported too.
+
+Platform dispatch follows the paper:
+
+* **Infiniband** — ``create_handle`` stamps the out-of-band value into
+  the buffer's trailing double word, registers the memory, and inserts
+  the handle into the receiving PE's *polling queue*; ``put`` issues a
+  bare RDMA write; the scheduler's poll sweep detects completion by
+  the sentinel changing and runs the callback inline.  ``ready`` splits
+  into ``ready_mark`` (re-stamp sentinel) + ``ready_poll_q`` (resume
+  polling), letting applications confine polling overhead to the phase
+  that needs it (§2.1 — crucial for OpenAtom, §5.2).
+* **Blue Gene/P** — ``put`` is a DCMF two-sided send whose Info header
+  carries the whole receive context (two quad words); the receive-side
+  completion callback invokes the user callback directly, so there is
+  no polling and the ``ready`` calls have no effect (§2.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..charm.scheduler import DirectItem
+from ..util.buffers import Buffer
+from .handle import (
+    ChannelState,
+    ChannelStateError,
+    CkDirectError,
+    CkDirectHandle,
+    UserCallback,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..charm.chare import Chare
+    from ..charm.runtime import Runtime
+
+
+def _is_bgp(rt: "Runtime") -> bool:
+    return rt.machine.kind == "bgp"
+
+
+def _charge_if_ctx(rt: "Runtime", seconds: float) -> None:
+    """Charge the current PE when called from an entry method; setup
+    performed at bootstrap (host) time is off the clock, matching the
+    paper's exclusion of one-time channel setup from steady state."""
+    pe = rt.current_pe
+    if pe is not None and seconds:
+        pe.charge(seconds)
+
+
+# ---------------------------------------------------------------------------
+# Channel setup
+# ---------------------------------------------------------------------------
+
+
+def register_handle(chare: "Chare", handle: CkDirectHandle) -> CkDirectHandle:
+    """Shared registration steps for a freshly built handle (also used
+    by the extension channel types in :mod:`repro.ckdirect.ext`)."""
+    rt = chare.rt
+    handle.stamp_sentinel()
+    _charge_if_ctx(rt, rt.machine.ckdirect.handle_setup)
+    if not _is_bgp(rt):
+        # Registers the receive memory and starts polling immediately.
+        chare._pe.poll_register(handle)
+    rt.trace.count("ckdirect.handles_created")
+    return handle
+
+
+def create_handle(
+    chare: "Chare",
+    buffer: Buffer,
+    oob: Any,
+    callback: UserCallback,
+    cbdata: Any = None,
+    name: str = "",
+) -> CkDirectHandle:
+    """Receiver side: create the handle for one channel.
+
+    Mirrors ``CkDirect_createHandle(addr, size, oob, cb, cbdata)``.
+    ``buffer`` is typically a :meth:`Buffer.view` of exactly the
+    location where the data is needed (a matrix row, a halo face) —
+    the zero-copy property.  ``oob`` must be a value that will never
+    appear as the final element of received data.
+    """
+    rt = chare.rt
+    handle = CkDirectHandle(rt, chare._pe, buffer, oob, callback, cbdata, name)
+    return register_handle(chare, handle)
+
+
+def assoc_local(chare: "Chare", handle: CkDirectHandle, src_buffer: Buffer) -> None:
+    """Sender side: associate a local source buffer with the handle.
+
+    Mirrors ``CkDirect_assocLocal``.  The same local buffer may be
+    associated with *different* handles (one per receiver) without
+    copying — the paper's multi-destination pattern; see also
+    :mod:`repro.ckdirect.ext.multicast`.
+    """
+    rt = chare.rt
+    if src_buffer.nbytes != handle.recv_buffer.nbytes:
+        raise CkDirectError(
+            f"{handle.name}: source is {src_buffer.nbytes}B but the "
+            f"registered receive buffer is {handle.recv_buffer.nbytes}B"
+        )
+    if handle.src_pe is not None:
+        raise CkDirectError(f"{handle.name}: assoc_local called twice")
+    handle.src_pe = chare._pe
+    handle.src_buffer = src_buffer
+    _charge_if_ctx(rt, rt.machine.ckdirect.assoc_overhead)
+    rt.trace.count("ckdirect.assocs")
+
+
+# ---------------------------------------------------------------------------
+# Data movement
+# ---------------------------------------------------------------------------
+
+_PUTTABLE_IB = (ChannelState.ARMED, ChannelState.MARKED)
+_PUTTABLE_BGP = (ChannelState.ARMED, ChannelState.MARKED, ChannelState.CONSUMED)
+
+
+def put(handle: CkDirectHandle, issue_cost: Optional[float] = None) -> None:
+    """Send the associated buffer's contents down the channel.
+
+    Mirrors ``CkDirect_put``.  Must be called in the sending chare's
+    context.  Strict-mode checks enforce the paper's contract: at most
+    one message in flight, and the receiver must have released the
+    buffer (via its iteration-level synchronization) before the next
+    put lands.
+    """
+    rt = handle.rt
+    pe = rt.current_pe
+    if handle.src_pe is None or handle.src_buffer is None:
+        raise CkDirectError(f"{handle.name}: put before assoc_local")
+    if pe is None:
+        raise CkDirectError(f"{handle.name}: put outside a chare context")
+    if pe is not handle.src_pe:
+        raise CkDirectError(
+            f"{handle.name}: put from PE {pe.rank}, but the channel was "
+            f"associated on PE {handle.src_pe.rank}"
+        )
+    legal = _PUTTABLE_BGP if _is_bgp(rt) else _PUTTABLE_IB
+    if handle.state not in legal:
+        raise ChannelStateError(
+            f"{handle.name}: put while channel is {handle.state.value} — "
+            "the application-level synchronization the paper relies on "
+            "has been violated (receiver has not re-armed the channel)"
+        )
+    if handle.state is ChannelState.CONSUMED:  # BG/P implicit re-arm
+        handle.stamp_sentinel()
+    handle.state = ChannelState.IN_FLIGHT
+    pe.charge(rt.machine.ckdirect.put_issue if issue_cost is None else issue_cost)
+    rt.trace.count("ckdirect.puts")
+    rt.trace.count("ckdirect.put_bytes", handle.recv_buffer.nbytes)
+
+    nbytes = handle.recv_buffer.nbytes
+    src_rank, dst_rank = pe.rank, handle.recv_pe.rank
+    if src_rank == dst_rank:
+        # Same-PE channel: a local memcpy at shared-memory speed.
+        delay = rt.machine.net.shm_alpha + nbytes * rt.machine.net.shm_beta
+        rt.sim.at(pe.cursor + delay, _complete, handle)
+    else:
+        rt.fabric.direct_put(
+            src_rank, dst_rank, nbytes, pe.cursor, lambda: _complete(handle)
+        )
+
+
+def _complete(handle: CkDirectHandle) -> None:
+    """Fabric delivery callback: land data + notify the receiver."""
+    rt = handle.rt
+    handle.deliver()
+    if _is_bgp(rt):
+        # DCMF receive-completion callback: handler + user callback run
+        # directly, around the scheduler queue.
+        cost = rt.fabric.recv_handler_cost(
+            handle.recv_buffer.nbytes
+        ) + rt.machine.ckdirect.callback_overhead
+        handle.recv_pe.push_direct(DirectItem(cost, handle.fire))
+    else:
+        # Infiniband: wake the receiver; its poll sweep will detect the
+        # sentinel change (if the handle is in the polling queue).
+        handle.recv_pe.notify_arrival()
+
+
+# ---------------------------------------------------------------------------
+# Re-arming
+# ---------------------------------------------------------------------------
+
+
+def ready_mark(handle: CkDirectHandle) -> None:
+    """Re-stamp the out-of-band pattern: the receiver is done with the
+    buffer.  Mirrors ``CkDirect_readyMark`` (no effect on BG/P)."""
+    rt = handle.rt
+    if _is_bgp(rt):
+        if handle.state is ChannelState.CONSUMED:
+            handle.stamp_sentinel()
+            handle.state = ChannelState.ARMED
+        return
+    if handle.state is not ChannelState.CONSUMED:
+        raise ChannelStateError(
+            f"{handle.name}: ready_mark while {handle.state.value} — the "
+            "buffer has not been consumed (or was already re-armed)"
+        )
+    handle.stamp_sentinel()
+    handle.state = ChannelState.MARKED
+    rt.trace.count("ckdirect.ready_marks")
+
+
+def ready_poll_q(handle: CkDirectHandle) -> None:
+    """Resume polling this handle.  Mirrors ``CkDirect_readyPollQ``.
+
+    Idempotent; if data already arrived while the handle was merely
+    MARKED, the next sweep detects it immediately (no message is lost
+    by deferring this call — §2.1).
+    """
+    rt = handle.rt
+    if _is_bgp(rt):
+        return
+    if handle.state is ChannelState.CONSUMED:
+        raise ChannelStateError(
+            f"{handle.name}: ready_poll_q before ready_mark — the sentinel "
+            "is still clear, so arrival could never be detected"
+        )
+    handle.recv_pe.poll_register(handle)
+    rt.trace.count("ckdirect.ready_polls")
+
+
+def ready(handle: CkDirectHandle) -> None:
+    """``ready_mark`` + ``ready_poll_q`` in one call (``CkDirect_ready``).
+
+    Note this performs **no synchronization** with the sender — it only
+    tells the local RTS to expect new data (paper §2)."""
+    ready_mark(handle)
+    ready_poll_q(handle)
+
+
+# ---------------------------------------------------------------------------
+# Paper-style aliases
+# ---------------------------------------------------------------------------
+
+CkDirect_createHandle = create_handle
+CkDirect_assocLocal = assoc_local
+CkDirect_put = put
+CkDirect_ready = ready
+CkDirect_readyMark = ready_mark
+CkDirect_readyPollQ = ready_poll_q

@@ -1,0 +1,97 @@
+"""Accumulating channels — the paper's "reductions" extension (§6).
+
+An :class:`AccumulateHandle` behaves like a normal CkDirect channel
+except that delivery *combines* the incoming data into the receive
+buffer (``+``, ``max`` or ``min``) instead of overwriting it.  The
+receiver arms the channel once per iteration with an initialized
+buffer; each put folds in remotely computed partials with no receiver
+involvement beyond the completion callback.
+
+The sentinel mechanics need one refinement: stamping the out-of-band
+value into the trailing element would destroy the running partial
+there, so an accumulating handle *saves* the displaced trailing value
+when arming and restores it just before combining — the signalling
+slot and the data slot time-share the same memory.  Strict mode still
+detects the contract violation where the combined result happens to
+equal the out-of-band value.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ...util.buffers import Buffer
+from ..api import register_handle
+from ..handle import ChannelState, CkDirectError, CkDirectHandle, SentinelError, UserCallback
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...charm.chare import Chare
+
+ACCUMULATE_OPS = {
+    "sum": np.add,
+    "max": np.maximum,
+    "min": np.minimum,
+}
+
+
+class AccumulateHandle(CkDirectHandle):
+    """A channel whose puts combine into the destination buffer."""
+
+    __slots__ = ("op", "_saved_last")
+
+    def __init__(self, *args, op: str = "sum", **kwargs) -> None:
+        if op not in ACCUMULATE_OPS:
+            raise CkDirectError(
+                f"unknown accumulate op {op!r}; expected {sorted(ACCUMULATE_OPS)}"
+            )
+        super().__init__(*args, **kwargs)
+        self.op = op
+        self._saved_last = None
+
+    def stamp_sentinel(self) -> None:
+        """Arm: park the trailing partial aside, then stamp the sentinel."""
+        if not self.recv_buffer.is_virtual:
+            self._saved_last = self.recv_buffer.get_last()
+        super().stamp_sentinel()
+
+    def deliver(self) -> None:
+        """Land arriving data (combining, for accumulate channels)."""
+        src, dst = self.src_buffer, self.recv_buffer
+        if not dst.is_virtual and self._saved_last is not None:
+            dst.set_last(self._saved_last)  # restore the displaced partial
+            self._saved_last = None
+        if src is not None and not dst.is_virtual and not src.is_virtual:
+            incoming = np.ascontiguousarray(src.array).reshape(dst.array.shape)
+            ufunc = ACCUMULATE_OPS[self.op]
+            ufunc(dst.array, incoming, out=dst.array)
+        if not dst.is_virtual and not self.sentinel_clear():
+            raise SentinelError(
+                f"{self.name}: accumulated data left the trailing element "
+                f"equal to the out-of-band value {self.oob!r}"
+            )
+        self.arrived = True
+        self.state = ChannelState.DELIVERED
+        self.puts_completed += 1
+        self.bytes_received += dst.nbytes
+
+
+def create_accumulate_handle(
+    chare: "Chare",
+    buffer: Buffer,
+    oob: Any,
+    callback: UserCallback,
+    cbdata: Any = None,
+    op: str = "sum",
+    name: str = "",
+) -> AccumulateHandle:
+    """Receiver side: create an accumulating channel.
+
+    The receive buffer must already hold the reduction identity (or a
+    running partial); each put applies ``op`` element-wise.
+    """
+    handle = AccumulateHandle(
+        chare.rt, chare._pe, buffer, oob, callback, cbdata, name, op=op
+    )
+    return register_handle(chare, handle)

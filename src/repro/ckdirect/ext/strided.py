@@ -1,0 +1,106 @@
+"""Strided puts — the paper's "strided communication patterns"
+extension (§6), in the spirit of ARMCI's strided RMA (§2.3).
+
+A strided channel targets a *non-contiguous* receive region (e.g. a
+column of a row-major matrix).  The data still lands exactly where it
+is needed — :class:`~repro.util.buffers.Buffer` views write through to
+the underlying array — but the transfer costs more to issue: an RDMA
+engine needs one descriptor (or one scatter/gather entry) per
+contiguous segment.
+
+``segment_count`` computes the number of maximal contiguous runs of a
+numpy view directly from its shape/strides, so the cost model cannot
+drift from the data layout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+import numpy as np
+
+from ...util.units import us
+from ...util.buffers import Buffer
+from .. import api
+from ..handle import CkDirectError, CkDirectHandle, UserCallback
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ...charm.chare import Chare
+
+#: Additional sender-side issue cost per extra RDMA segment descriptor.
+PER_SEGMENT_OVERHEAD = us(0.3)
+
+
+def segment_count(array: np.ndarray) -> int:
+    """Number of maximal contiguous runs covering ``array``.
+
+    A C-contiguous array is one segment.  Otherwise, find the largest
+    suffix of dimensions that is laid out contiguously; every index
+    combination of the remaining prefix dimensions starts a new
+    segment.
+    """
+    if array.ndim == 0 or array.size == 0:
+        return 1
+    if array.flags["C_CONTIGUOUS"]:
+        return 1
+    # Length-1 dimensions are layout-neutral; drop them.
+    dims = [
+        (s, st) for s, st in zip(array.shape, array.strides) if s > 1
+    ]
+    if not dims:
+        return 1
+    # Find the longest suffix of dimensions that is laid out densely;
+    # everything in front of it multiplies into the segment count.
+    expected = array.itemsize
+    first_contig = len(dims)
+    for i in range(len(dims) - 1, -1, -1):
+        size, stride = dims[i]
+        if stride == expected:
+            expected *= size
+            first_contig = i
+        else:
+            break
+    segments = 1
+    for size, _ in dims[:first_contig]:
+        segments *= size
+    return segments
+
+
+class StridedChannel:
+    """A CkDirect channel onto a non-contiguous destination view."""
+
+    def __init__(self, handle: CkDirectHandle, segments: int) -> None:
+        if segments < 1:
+            raise CkDirectError(f"segments must be >= 1, got {segments}")
+        self.handle = handle
+        self.segments = segments
+
+    def put(self) -> None:
+        """Issue the strided put: one descriptor per segment."""
+        rt = self.handle.rt
+        extra = (self.segments - 1) * PER_SEGMENT_OVERHEAD
+        api.put(self.handle, issue_cost=rt.machine.ckdirect.put_issue + extra)
+        rt.trace.count("ckdirect.strided_puts")
+        rt.trace.count("ckdirect.strided_segments", self.segments)
+
+
+def create_strided_channel(
+    chare: "Chare",
+    buffer: Buffer,
+    oob: Any,
+    callback: UserCallback,
+    cbdata: Any = None,
+    segments: Optional[int] = None,
+    name: str = "",
+) -> StridedChannel:
+    """Receiver side: a channel onto a strided view.
+
+    ``segments`` defaults to the layout-derived
+    :func:`segment_count` for real buffers (and must be given
+    explicitly for virtual ones)."""
+    if segments is None:
+        if buffer.is_virtual:
+            raise CkDirectError("virtual strided channels need explicit segments=")
+        segments = segment_count(buffer.array)
+    handle = api.create_handle(chare, buffer, oob, callback, cbdata, name=name)
+    return StridedChannel(handle, segments)

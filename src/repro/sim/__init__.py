@@ -1,0 +1,30 @@
+"""Discrete-event simulation core.
+
+Public surface:
+
+* :class:`Simulator` — the event loop and clock.
+* :class:`Event` — a cancellable scheduled callback.
+* :class:`Entity` — base class for things living in simulated time.
+* :class:`Trace`, :class:`RunningStats` — statistics collection.
+* :mod:`repro.sim.rng` — deterministic random streams.
+"""
+
+from .engine import SimulationError, Simulator
+from .entity import Entity
+from .event import Event
+from .rng import DEFAULT_SEED, make_rng, split_seeds, substream
+from .trace import RunningStats, Sample, Trace
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Event",
+    "Entity",
+    "Trace",
+    "RunningStats",
+    "Sample",
+    "make_rng",
+    "substream",
+    "split_seeds",
+    "DEFAULT_SEED",
+]

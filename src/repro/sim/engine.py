@@ -1,0 +1,174 @@
+"""The discrete-event simulation engine.
+
+The :class:`Simulator` owns simulated time.  Every other component of
+this package — network models, processing elements, the Charm++-like
+runtime, the simulated MPI — advances time exclusively by scheduling
+events here.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**.  The helpers in
+  :mod:`repro.util.units` (``us``, ``ms``, ``KB`` …) keep call sites
+  readable.
+* The event heap breaks ties deterministically (see
+  :mod:`repro.sim.event`), so a run is a pure function of its inputs
+  and seed.
+* The engine is deliberately minimal: no processes/coroutines, just
+  callbacks.  The message-driven programming model of Charm++ maps
+  naturally onto callbacks, so a process abstraction would only add
+  overhead and non-determinism risk.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .event import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1e-6, fired.append, "a")
+    >>> _ = sim.schedule(0.5e-6, fired.append, "b")
+    >>> sim.run()
+    >>> fired
+    ['b', 'a']
+    >>> sim.now
+    1e-06
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired since construction (cancelled excluded)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``fn(*args, **kwargs)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay fires after all
+        events already scheduled for the current instant at equal
+        priority (FIFO among ties).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.at(self._now + delay, fn, *args, priority=priority, **kwargs)
+
+    def at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``fn`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: t={time!r} < now={self._now!r}"
+            )
+        ev = Event(time, priority, self._seq, fn, args, kwargs)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if the heap is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._events_processed += 1
+            ev.fire()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        ``until`` is an absolute simulated time; events scheduled at
+        exactly ``until`` still fire.  When the heap drains before
+        ``until``, the clock is advanced to ``until``.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._heap:
+                if max_events is not None and fired >= max_events:
+                    return
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = until
+                    return
+                heapq.heappop(self._heap)
+                self._now = nxt.time
+                self._events_processed += 1
+                nxt.fire()
+                fired += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def drain(self, max_events: int = 50_000_000) -> None:
+        """Run to completion, guarding against runaway event loops."""
+        self.run(max_events=max_events)
+        if self._heap and any(not e.cancelled for e in self._heap):
+            raise SimulationError(
+                f"simulation did not converge within {max_events} events"
+            )

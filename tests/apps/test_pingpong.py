@@ -1,0 +1,71 @@
+"""Tests for the pingpong microbenchmark across all stacks."""
+
+import numpy as np
+import pytest
+
+from repro import ABE, SURVEYOR
+from repro.apps.pingpong import (
+    charm_pingpong,
+    ckdirect_pingpong,
+    mpi_pingpong,
+    mpi_put_pingpong,
+)
+
+
+def test_charm_pingpong_result_fields():
+    r = charm_pingpong(ABE, 1000, iterations=20)
+    assert r.stack == "charm"
+    assert r.machine == "Abe"
+    assert r.nbytes == 1000
+    assert r.rtt > 0
+    assert r.rtt_us == pytest.approx(r.rtt * 1e6)
+
+
+def test_ckdirect_pingpong_real_buffers_move_data():
+    r = ckdirect_pingpong(ABE, 104, iterations=5, real_buffers=True)
+    assert r.rtt > 0
+
+
+def test_real_and_virtual_buffers_time_identically():
+    a = ckdirect_pingpong(ABE, 800, iterations=10, real_buffers=True)
+    b = ckdirect_pingpong(ABE, 800, iterations=10, real_buffers=False)
+    assert a.rtt == pytest.approx(b.rtt)
+
+
+def test_rtt_monotone_in_size():
+    sizes = [100, 1000, 10_000, 100_000]
+    for fn in (charm_pingpong, ckdirect_pingpong):
+        rtts = [fn(ABE, s, 20).rtt for s in sizes]
+        assert all(b > a for a, b in zip(rtts, rtts[1:])), fn.__name__
+
+
+def test_ckdirect_faster_than_charm_both_machines():
+    for machine in (ABE, SURVEYOR):
+        for size in (100, 10_000, 500_000):
+            d = charm_pingpong(machine, size, 20).rtt
+            c = ckdirect_pingpong(machine, size, 20).rtt
+            assert c < d, (machine.name, size)
+
+
+def test_mpi_flavors_distinct():
+    mva = mpi_pingpong(ABE, 30_000, 20, flavor="MVAPICH").rtt
+    vmi = mpi_pingpong(ABE, 30_000, 20, flavor="MPICH-VMI").rtt
+    assert mva != vmi
+    assert mva < vmi  # MVAPICH is the better stack at this size
+
+
+def test_mpi_put_includes_sync_cost_small():
+    two = mpi_pingpong(ABE, 100, 20, flavor="MVAPICH").rtt
+    put = mpi_put_pingpong(ABE, 100, 20, flavor="MVAPICH").rtt
+    assert put > two
+
+
+def test_stack_labels():
+    assert mpi_pingpong(ABE, 100, 5).stack == "mpi:MVAPICH"
+    assert mpi_put_pingpong(SURVEYOR, 100, 5).stack == "mpi-put:IBM-MPI"
+
+
+def test_iterations_do_not_change_steady_state():
+    a = charm_pingpong(ABE, 1000, iterations=10).rtt
+    b = charm_pingpong(ABE, 1000, iterations=100).rtt
+    assert a == pytest.approx(b, rel=1e-6)

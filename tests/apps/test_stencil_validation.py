@@ -1,0 +1,110 @@
+"""Integration tests: both stencil versions match the sequential
+reference bit-for-bit, on both machines, across decompositions."""
+
+import numpy as np
+import pytest
+
+from repro import ABE, SURVEYOR
+from repro.apps.stencil import (
+    block_initial,
+    gather_grid,
+    jacobi_reference,
+    jacobi_step,
+    run_stencil,
+)
+
+
+def _reference_initial(domain, grid, seed=20090922):
+    init = np.zeros(domain)
+    gx, gy, gz = grid
+    bx, by, bz = domain[0] // gx, domain[1] // gy, domain[2] // gz
+    for i in range(gx):
+        for j in range(gy):
+            for k in range(gz):
+                init[i * bx:(i + 1) * bx, j * by:(j + 1) * by, k * bz:(k + 1) * bz] = \
+                    block_initial((i, j, k), (bx, by, bz), seed)
+    return init
+
+
+def test_jacobi_step_interior_math():
+    g = np.zeros((3, 3, 3))
+    g[1, 1, 1] = 7.0
+    out = jacobi_step(g)
+    assert out[1, 1, 1] == pytest.approx(1.0)  # 7/7
+    assert out[0, 1, 1] == pytest.approx(1.0)  # one neighbour = 7
+    assert out[0, 0, 0] == pytest.approx(0.0)
+
+
+def test_jacobi_step_preserves_range():
+    rng = np.random.default_rng(0)
+    g = rng.random((6, 6, 6))
+    out = jacobi_step(g)
+    assert out.min() >= 0.0
+    assert out.max() <= 1.0
+
+
+@pytest.mark.parametrize("machine", [ABE, SURVEYOR], ids=["ib", "bgp"])
+@pytest.mark.parametrize("mode", ["msg", "ckd"])
+def test_parallel_matches_reference(machine, mode):
+    dom = (8, 8, 8)
+    res = run_stencil(machine, n_pes=4, domain=dom, vr=2, iterations=3,
+                      mode=mode, validate=True, keep_runtime=True)
+    got = gather_grid(res)
+    ref = jacobi_reference(_reference_initial(dom, res.grid), 3)
+    assert np.array_equal(got, ref)
+
+
+@pytest.mark.parametrize("mode", ["msg", "ckd"])
+def test_asymmetric_decomposition(mode):
+    dom = (16, 8, 4)
+    res = run_stencil(ABE, n_pes=2, domain=dom, vr=4, iterations=2,
+                      mode=mode, validate=True, keep_runtime=True)
+    got = gather_grid(res)
+    ref = jacobi_reference(_reference_initial(dom, res.grid), 2)
+    assert np.allclose(got, ref, rtol=0, atol=0)
+
+
+@pytest.mark.parametrize("mode", ["msg", "ckd"])
+def test_single_pe_many_chares(mode):
+    res = run_stencil(ABE, n_pes=1, domain=(8, 8, 8), vr=8, iterations=2,
+                      mode=mode, validate=True, keep_runtime=True)
+    got = gather_grid(res)
+    ref = jacobi_reference(_reference_initial((8, 8, 8), res.grid), 2)
+    assert np.array_equal(got, ref)
+
+
+def test_zero_iterations_leaves_initial_data():
+    res = run_stencil(ABE, n_pes=2, domain=(4, 4, 4), vr=1, iterations=0,
+                      mode="msg", validate=True, keep_runtime=True)
+    got = gather_grid(res)
+    assert np.array_equal(got, _reference_initial((4, 4, 4), res.grid))
+
+
+def test_iter_times_positive_and_reported():
+    res = run_stencil(ABE, n_pes=4, domain=(8, 8, 8), vr=2, iterations=3,
+                      mode="msg")
+    assert len(res.iter_times) == 3
+    assert all(t > 0 for t in res.iter_times)
+    assert res.mean_iter_time > 0
+
+
+def test_both_versions_same_result_different_times():
+    dom = (8, 8, 8)
+    msg = run_stencil(ABE, 4, dom, 2, 3, "msg", validate=True, keep_runtime=True)
+    ckd = run_stencil(ABE, 4, dom, 2, 3, "ckd", validate=True, keep_runtime=True)
+    assert np.array_equal(gather_grid(msg), gather_grid(ckd))
+    assert msg.mean_iter_time != ckd.mean_iter_time
+
+
+def test_gather_requires_validation_run():
+    res = run_stencil(ABE, 2, (4, 4, 4), 1, 1, "msg", keep_runtime=True)
+    with pytest.raises(ValueError, match="validate"):
+        gather_grid(res)
+    res2 = run_stencil(ABE, 2, (4, 4, 4), 1, 1, "msg")
+    with pytest.raises(ValueError, match="keep_runtime"):
+        gather_grid(res2)
+
+
+def test_invalid_mode_rejected():
+    with pytest.raises(ValueError, match="mode"):
+        run_stencil(ABE, 2, (4, 4, 4), 1, 1, mode="bogus")

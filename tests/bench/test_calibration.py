@@ -1,0 +1,95 @@
+"""Calibration spot checks: the simulated stacks stay near the paper's
+printed microbenchmark numbers at representative sizes.
+
+The full-table sweep lives in the benchmark suite; these fast spot
+checks run with the unit tests so a parameter regression is caught
+immediately.
+"""
+
+import pytest
+
+from repro import ABE, SURVEYOR
+from repro.apps.pingpong import (
+    charm_pingpong,
+    ckdirect_pingpong,
+    mpi_pingpong,
+    mpi_put_pingpong,
+)
+from repro.bench.paper_data import PINGPONG_SIZES, TABLE1_RTT_US, TABLE2_RTT_US
+
+IDX = {s: i for i, s in enumerate(PINGPONG_SIZES)}
+
+# representative small / crossover / large points
+SPOT_SIZES = [100, 30_000, 500_000]
+
+
+@pytest.mark.parametrize("size", SPOT_SIZES)
+def test_charm_ib_near_paper(size):
+    got = charm_pingpong(ABE, size, 40).rtt_us
+    paper = TABLE1_RTT_US["Default CHARM++"][IDX[size]]
+    assert got == pytest.approx(paper, rel=0.12)
+
+
+@pytest.mark.parametrize("size", SPOT_SIZES)
+def test_ckdirect_ib_near_paper(size):
+    got = ckdirect_pingpong(ABE, size, 40).rtt_us
+    paper = TABLE1_RTT_US["CkDirect CHARM++"][IDX[size]]
+    assert got == pytest.approx(paper, rel=0.08)
+
+
+@pytest.mark.parametrize("size", SPOT_SIZES)
+def test_charm_bgp_near_paper(size):
+    got = charm_pingpong(SURVEYOR, size, 40).rtt_us
+    paper = TABLE2_RTT_US["Default CHARM++"][IDX[size]]
+    assert got == pytest.approx(paper, rel=0.08)
+
+
+@pytest.mark.parametrize("size", SPOT_SIZES)
+def test_ckdirect_bgp_near_paper(size):
+    got = ckdirect_pingpong(SURVEYOR, size, 40).rtt_us
+    paper = TABLE2_RTT_US["CkDirect CHARM++"][IDX[size]]
+    assert got == pytest.approx(paper, rel=0.10)
+
+
+@pytest.mark.parametrize("size", SPOT_SIZES)
+def test_mvapich_near_paper(size):
+    got = mpi_pingpong(ABE, size, 40, flavor="MVAPICH").rtt_us
+    paper = TABLE1_RTT_US["MVAPICH"][IDX[size]]
+    assert got == pytest.approx(paper, rel=0.15)
+
+
+@pytest.mark.parametrize("size", SPOT_SIZES)
+def test_ibm_mpi_near_paper(size):
+    got = mpi_pingpong(SURVEYOR, size, 40).rtt_us
+    paper = TABLE2_RTT_US["MPI"][IDX[size]]
+    assert got == pytest.approx(paper, rel=0.10)
+
+
+def test_ordering_small_messages_ib():
+    """At 100B the paper's ordering: MVAPICH ~ VMI ~ CkD < Put < default."""
+    ckd = ckdirect_pingpong(ABE, 100, 40).rtt_us
+    put = mpi_put_pingpong(ABE, 100, 40, flavor="MVAPICH").rtt_us
+    charm = charm_pingpong(ABE, 100, 40).rtt_us
+    assert ckd < put < charm
+
+
+def test_ordering_small_messages_bgp():
+    """Table 2 at 100B: CkD < MPI < Put ~ default."""
+    ckd = ckdirect_pingpong(SURVEYOR, 100, 40).rtt_us
+    mpi = mpi_pingpong(SURVEYOR, 100, 40).rtt_us
+    put = mpi_put_pingpong(SURVEYOR, 100, 40).rtt_us
+    charm = charm_pingpong(SURVEYOR, 100, 40).rtt_us
+    assert ckd < mpi < put
+    assert ckd < charm
+
+
+def test_charm_protocol_switch_visible_on_ib():
+    """Default Charm++ jumps between 20KB (packet) and 30KB
+    (rendezvous) — the Table 1 discussion's protocol switch."""
+    t20 = charm_pingpong(ABE, 20_000, 40).rtt_us
+    t30 = charm_pingpong(ABE, 30_000, 40).rtt_us
+    per_byte_before = (t20 - charm_pingpong(ABE, 10_000, 40).rtt_us) / 10_000
+    jump = t30 - t20
+    # the switch costs noticeably more than 10KB of packet-protocol
+    # bytes (the rendezvous handshake + registration appear)
+    assert jump > 1.3 * per_byte_before * 10_000

@@ -1,0 +1,77 @@
+"""Tests for CSV export of bench results."""
+
+import csv
+
+import pytest
+
+from repro.bench import export_series_csv, export_table_csv
+from repro.bench.export import export_all
+
+
+def test_export_table_csv(tmp_path):
+    result = {
+        "sizes": [100, 1000],
+        "measured": {"A": [1.5, 2.5], "B": [3.0, 4.0]},
+        "paper": {"A": [1.6, 2.6], "B": [3.1, 4.1]},
+    }
+    path = export_table_csv(result, tmp_path / "t.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["stack", "nbytes", "rtt_us", "paper_rtt_us"]
+    assert rows[1] == ["A", "100", "1.500000", "1.600000"]
+    assert len(rows) == 5
+
+
+def test_export_table_csv_without_paper(tmp_path):
+    result = {"sizes": [100], "measured": {"A": [1.0]}, "paper": None}
+    path = export_table_csv(result, tmp_path / "t.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[1][-1] == ""
+
+
+def test_export_series_csv(tmp_path):
+    result = {
+        "pes": [32, 64],
+        "gains": [2.0, 4.0],
+        "msg_ms": [10.0, 5.0],
+        "ckd_ms": [9.8, 4.8],
+        "report": "not a column",
+    }
+    path = export_series_csv(result, tmp_path / "s.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows[0][0] == "pes"
+    assert set(rows[0][1:]) == {"gains", "msg_ms", "ckd_ms"}
+    assert rows[1][0] == "32"
+    assert len(rows) == 3
+
+
+def test_export_series_custom_x_key(tmp_path):
+    result = {"ratios": [1, 2], "gains": [0.1, 0.5]}
+    path = export_series_csv(result, tmp_path / "vr.csv", x_key="ratios")
+    rows = list(csv.reader(path.open()))
+    assert rows[0] == ["ratios", "gains"]
+
+
+def test_export_all_small(tmp_path, monkeypatch):
+    """End-to-end: regenerate small variants and dump CSVs."""
+    import repro.bench.export as ex
+
+    monkeypatch.setattr(
+        "repro.bench.harness.run_table1",
+        lambda iterations=50: {
+            "sizes": [100], "measured": {"A": [1.0]}, "paper": None,
+        },
+    )
+    # use the real export path but with tiny stubbed runners for speed
+    import repro.bench.harness as h
+
+    monkeypatch.setattr(h, "run_table2", lambda iterations=50: {
+        "sizes": [100], "measured": {"B": [2.0]}, "paper": None})
+    monkeypatch.setattr(h, "run_fig2a", lambda: {
+        "pes": [8], "gains": [1.0], "msg_ms": [2.0], "ckd_ms": [1.9],
+        "report": ""})
+    monkeypatch.setattr(h, "run_fig2b", lambda: {
+        "pes": [8], "gains": [0.5], "msg_ms": [2.0], "ckd_ms": [1.99],
+        "report": ""})
+    written = export_all(tmp_path)
+    assert len(written) == 4
+    assert all(p.exists() for p in written)

@@ -1,0 +1,76 @@
+"""Unit tests for the shape-assertion helpers."""
+
+import pytest
+
+from repro.bench.shapes import (
+    ShapeError,
+    assert_all_nonnegative,
+    assert_ckdirect_always_wins,
+    assert_ckdirect_beats_mpi,
+    assert_gain_in_band,
+    assert_gains_grow_with_pes,
+    assert_gap_grows_through_packet_band,
+    assert_put_crossover,
+    assert_within_tolerance,
+)
+
+
+def test_always_wins_passes_and_fails():
+    sizes = [100, 1000]
+    assert_ckdirect_always_wins(sizes, [10, 20], [5, 15])
+    with pytest.raises(ShapeError, match="1000B"):
+        assert_ckdirect_always_wins(sizes, [10, 20], [5, 25])
+
+
+def test_gap_growth():
+    sizes = [100, 2000, 10_000, 20_000, 50_000]
+    default = [10, 20, 40, 70, 100]
+    ckd = [5, 16, 30, 50, 95]
+    # gaps inside (1000, 20000): 4, 10, 20 — growing
+    assert_gap_grows_through_packet_band(sizes, default, ckd)
+    with pytest.raises(ShapeError):
+        assert_gap_grows_through_packet_band(sizes, [10, 20, 40, 45, 100], ckd)
+
+
+def test_put_crossover():
+    sizes = [1000, 50_000, 200_000]
+    two = [10.0, 50.0, 200.0]
+    put = [12.0, 52.0, 190.0]
+    assert_put_crossover(sizes, two, put)
+    with pytest.raises(ShapeError, match="beat two-sided"):
+        assert_put_crossover(sizes, two, [8.0, 52.0, 190.0])
+    with pytest.raises(ShapeError, match="lost to two-sided"):
+        assert_put_crossover(sizes, two, [12.0, 52.0, 210.0])
+
+
+def test_within_tolerance():
+    assert_within_tolerance([1], [105.0], [100.0], 0.10, "x")
+    with pytest.raises(ShapeError, match="tolerance"):
+        assert_within_tolerance([1], [120.0], [100.0], 0.10, "x")
+
+
+def test_beats_mpi_with_slack():
+    sizes = [10]
+    assert_ckdirect_beats_mpi(sizes, [100.0], {"m": [99.0]})  # within 2%
+    with pytest.raises(ShapeError, match="lost to"):
+        assert_ckdirect_beats_mpi(sizes, [100.0], {"m": [90.0]})
+
+
+def test_gains_grow():
+    assert_gains_grow_with_pes([1, 2, 4], [1.0, 2.0, 3.0])
+    assert_gains_grow_with_pes([1, 2, 4], [3.0, 2.0, 4.0], slack_pct=1.5)
+    with pytest.raises(ShapeError):
+        assert_gains_grow_with_pes([1, 2, 4], [5.0, 1.0, 6.0])
+
+
+def test_gain_band():
+    assert_gain_in_band(256, 12.0, 8.0, 18.0, "f")
+    with pytest.raises(ShapeError):
+        assert_gain_in_band(256, 20.0, 8.0, 18.0, "f")
+
+
+def test_nonnegative():
+    assert_all_nonnegative([1, 2], [0.5, 0.0])
+    assert_all_nonnegative([1], [-0.4], slack_pct=0.5)
+    with pytest.raises(ShapeError, match="slower"):
+        assert_all_nonnegative([1], [-1.0])

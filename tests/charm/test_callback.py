@@ -1,0 +1,94 @@
+"""Unit tests for CkCallback construction and dispatch."""
+
+import pytest
+
+from repro import ABE, Chare, CkCallback, Runtime
+from repro.charm import CharmError
+
+
+class Target(Chare):
+    def __init__(self):
+        self.got = []
+
+    def catch(self, v):
+        self.got.append(v)
+
+    def fire_host(self, cb):
+        cb.invoke(self.rt, 42)
+
+    def fire_send(self, cb):
+        cb.invoke(self.rt, "hello")
+
+    def fire_none(self, cb):
+        cb.invoke(self.rt, None)
+
+
+def test_host_callback():
+    rt = Runtime(ABE, n_pes=2)
+    arr = rt.create_array(Target, dims=(1,))
+    got = []
+    arr.proxy[0].fire_host(CkCallback.host(got.append))
+    rt.run()
+    assert got == [42]
+
+
+def test_send_callback():
+    rt = Runtime(ABE, n_pes=2)
+    arr = rt.create_array(Target, dims=(2,))
+    arr.proxy[0].fire_send(CkCallback.send(arr, 1, "catch"))
+    rt.run()
+    assert arr.element(1).got == ["hello"]
+
+
+def test_bcast_callback():
+    rt = Runtime(ABE, n_pes=2)
+    arr = rt.create_array(Target, dims=(3,))
+    arr.proxy[0].fire_send(CkCallback.bcast(arr, "catch"))
+    rt.run()
+    for e in arr.elements.values():
+        assert e.got == ["hello"]
+
+
+def test_ignore_callback():
+    rt = Runtime(ABE, n_pes=2)
+    arr = rt.create_array(Target, dims=(1,))
+    arr.proxy[0].fire_host(CkCallback.ignore())
+    rt.run()  # nothing to assert beyond not crashing
+
+
+def test_none_value_sends_no_args():
+    class NoArg(Chare):
+        def __init__(self):
+            self.hits = 0
+
+        def bang(self):
+            self.hits += 1
+
+        def fire(self, cb):
+            cb.invoke(self.rt, None)
+
+    rt = Runtime(ABE, n_pes=2)
+    arr = rt.create_array(NoArg, dims=(1,))
+    arr.proxy[0].fire(CkCallback.send(arr, 0, "bang"))
+    rt.run()
+    assert arr.element(0).hits == 1
+
+
+def test_construction_validation():
+    with pytest.raises(CharmError):
+        CkCallback("host")  # missing fn
+    with pytest.raises(CharmError):
+        CkCallback("send", method="m")  # missing array/index
+    with pytest.raises(CharmError):
+        CkCallback("teleport")
+    rt = Runtime(ABE, n_pes=1)
+    arr = rt.create_array(Target, dims=(1,))
+    with pytest.raises(CharmError):
+        CkCallback("send", array=arr, method="catch")  # missing index
+
+
+def test_send_callback_normalizes_index():
+    rt = Runtime(ABE, n_pes=1)
+    arr = rt.create_array(Target, dims=(2,))
+    cb = CkCallback.send(arr, 1, "catch")  # bare int index
+    assert cb.index == (1,)

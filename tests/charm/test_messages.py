@@ -1,0 +1,81 @@
+"""Unit tests for Payload and Message plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.charm import CharmError, Payload
+from repro.charm.message import (
+    Message,
+    payload_bytes,
+    unwrap_args,
+    wrap_args,
+)
+
+
+def test_payload_needs_backing():
+    with pytest.raises(CharmError):
+        Payload()
+
+
+def test_payload_nbytes_consistency_check():
+    with pytest.raises(CharmError):
+        Payload(data=np.zeros(4), nbytes=999)
+    p = Payload(data=np.zeros(4), nbytes=32)
+    assert p.nbytes == 32
+
+
+def test_virtual_payload():
+    p = Payload.virtual(512)
+    assert p.is_virtual
+    assert p.nbytes == 512
+    assert not p.pack  # virtual helper is pre-packed by convention
+
+
+def test_marshalled_snapshots_packed_data():
+    arr = np.arange(4.0)
+    p = Payload(data=arr, pack=True)
+    m = p.marshalled()
+    arr[0] = 99.0
+    assert m.data[0] == 0.0
+    assert not m.pack  # already marshalled
+
+
+def test_marshalled_noop_for_unpacked():
+    arr = np.arange(4.0)
+    p = Payload(data=arr, pack=False)
+    assert p.marshalled() is p
+
+
+def test_wrap_unwrap_roundtrip():
+    arr = np.arange(3.0)
+    explicit = Payload(data=np.ones(2), pack=False)
+    args = wrap_args((arr, explicit, 5, "x"))
+    assert isinstance(args[0], Payload) and args[0].auto
+    assert args[1] is explicit
+    out = unwrap_args(tuple(a.marshalled() if isinstance(a, Payload) else a
+                            for a in args))
+    assert isinstance(out[0], np.ndarray)
+    assert np.array_equal(out[0], arr)
+    assert out[1] is explicit
+    assert out[2:] == (5, "x")
+
+
+def test_payload_bytes_sums_payloads_only():
+    args = (Payload.virtual(100), Payload.virtual(28), 7, "meta")
+    assert payload_bytes(args) == 128
+
+
+def test_message_ids_unique():
+    a = Message(1, (0,), "m", (), 0, None, 0.0)
+    b = Message(1, (0,), "m", (), 0, None, 0.0)
+    assert a.id != b.id
+
+
+def test_message_fields():
+    m = Message(3, (1, 2), "go", ("a",), 64, 5, 1.5e-6, is_internal=True)
+    assert m.array_id == 3
+    assert m.index == (1, 2)
+    assert m.method == "go"
+    assert m.nbytes == 64
+    assert m.src_pe == 5
+    assert m.is_internal

@@ -1,0 +1,48 @@
+"""Shared helpers: a two-chare channel harness on both machines."""
+
+import numpy as np
+
+from repro import ABE, SURVEYOR, Buffer, Chare, Runtime
+from repro.charm import CustomMap
+from repro import ckdirect as ckd
+
+CROSS = CustomMap(lambda idx, dims, n: 0 if idx[0] == 0 else n - 1)
+
+
+class Endpoint(Chare):
+    """Minimal receiver/sender pair used across the CkDirect tests."""
+
+    def __init__(self, n_elems=8):
+        self.recv_arr = np.zeros(n_elems)
+        self.send_arr = np.arange(1.0, n_elems + 1)
+        self.recv_buf = Buffer(array=self.recv_arr)
+        self.send_buf = Buffer(array=self.send_arr)
+        self.fired = []
+        self.handle = None
+
+    def make_handle(self, oob=-1.0, cbdata=None):
+        self.handle = ckd.create_handle(
+            self, self.recv_buf, oob, self.on_data, cbdata=cbdata
+        )
+        return self.handle
+
+    def on_data(self, cbdata):
+        self.fired.append((self.now, cbdata))
+
+    # entry methods used by tests
+    def do_put(self, handle):
+        ckd.put(handle)
+
+    def do_assoc(self, handle):
+        ckd.assoc_local(self, handle, self.send_buf)
+
+    def do_ready(self, handle):
+        ckd.ready(handle)
+
+    def do_ready_mark(self, handle):
+        ckd.ready_mark(handle)
+
+    def do_ready_pollq(self, handle):
+        ckd.ready_poll_q(handle)
+
+

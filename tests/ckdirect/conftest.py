@@ -1,0 +1,23 @@
+"""Fixtures for the CkDirect tests."""
+
+import pytest
+
+from repro import ABE, SURVEYOR, Runtime
+from repro import ckdirect as ckd
+from tests.ckdirect.channel_helpers import CROSS, Endpoint
+
+
+@pytest.fixture(params=["ib", "bgp"])
+def machine(request):
+    return ABE if request.param == "ib" else SURVEYOR
+
+
+@pytest.fixture
+def channel(machine):
+    """A wired channel: element 0 receives, element 1 sends."""
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    return rt, arr, recv, send, handle

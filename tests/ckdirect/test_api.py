@@ -1,0 +1,162 @@
+"""Unit tests for the CkDirect API happy paths on both machines."""
+
+import numpy as np
+import pytest
+
+from repro import Buffer
+from repro import ckdirect as ckd
+from repro.ckdirect.handle import ChannelState
+
+from tests.ckdirect.channel_helpers import Endpoint
+
+
+def test_put_delivers_data_and_fires_callback(channel):
+    rt, arr, recv, send, handle = channel
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert np.array_equal(recv.recv_arr, send.send_arr)
+    assert len(recv.fired) == 1
+    assert handle.state is ChannelState.CONSUMED
+    assert handle.puts_completed == 1
+    assert handle.bytes_received == recv.recv_buf.nbytes
+
+
+def test_callback_gets_cbdata(machine):
+    from repro import Runtime
+    from tests.ckdirect.channel_helpers import CROSS
+
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle(cbdata={"tag": 7})
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert recv.fired[0][1] == {"tag": 7}
+
+
+def test_iterated_puts_with_ready(channel):
+    rt, arr, recv, send, handle = channel
+    for i in range(5):
+        send.send_arr[:] = float(i + 1)
+        arr.proxy[1].do_put(handle)
+        rt.run()
+        assert np.all(recv.recv_arr == float(i + 1))
+        arr.proxy[0].do_ready(handle)
+        rt.run()
+    assert handle.puts_completed == 5
+    assert len(recv.fired) == 5
+
+
+def test_ready_mark_then_pollq_split(channel):
+    """The two-phase re-arm: data may arrive while only MARKED; the
+    deferred ReadyPollQ still detects it (no message lost, §2.1)."""
+    rt, arr, recv, send, handle = channel
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    arr.proxy[0].do_ready_mark(handle)
+    rt.run()
+    # second put arrives while the handle is not being polled
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    if rt.machine.kind == "ib":
+        assert len(recv.fired) == 1  # not yet detected
+        assert handle.state is ChannelState.DELIVERED
+    arr.proxy[0].do_ready_pollq(handle)
+    rt.run()
+    assert len(recv.fired) == 2  # detected after polling resumed
+
+
+def test_same_source_many_handles(machine):
+    """One local buffer may feed several channels (paper §2)."""
+    from repro import Runtime
+    from repro.charm import CustomMap
+
+    rt = Runtime(machine, n_pes=4 * machine.cores_per_node)
+    arr = rt.create_array(
+        Endpoint, dims=(3,),
+        mapping=CustomMap(lambda idx, dims, n: idx[0] * machine.cores_per_node),
+    )
+    sender = arr.element(0)
+    handles = []
+    for i in (1, 2):
+        h = arr.element(i).make_handle()
+        ckd.assoc_local(sender, h, sender.send_buf)
+        handles.append(h)
+
+    class Go(Endpoint):
+        pass
+
+    for h in handles:
+        arr.proxy[0].do_put(h)
+    rt.run()
+    for i in (1, 2):
+        assert np.array_equal(arr.element(i).recv_arr, sender.send_arr)
+
+
+def test_put_into_matrix_row_view(machine):
+    """The §2 motivating case: data lands in a row in the middle of a
+    matrix with no receiver copy."""
+    from repro import Runtime
+    from tests.ckdirect.channel_helpers import CROSS
+
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+
+    class MatrixRecv(Endpoint):
+        def __init__(self):
+            super().__init__()
+            self.matrix = np.zeros((6, 8))
+            self.recv_buf = Buffer(array=self.matrix[3, :])
+
+    arr = rt.create_array(MatrixRecv, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert np.array_equal(recv.matrix[3], send.send_arr)
+    assert np.all(recv.matrix[[0, 1, 2, 4, 5]] == 0)
+
+
+def test_virtual_buffers_timing_only(machine):
+    from repro import Runtime
+    from tests.ckdirect.channel_helpers import CROSS
+
+    class VirtualEp(Endpoint):
+        def __init__(self):
+            self.recv_buf = Buffer(nbytes=4096)
+            self.send_buf = Buffer(nbytes=4096)
+            self.fired = []
+            self.handle = None
+
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+    arr = rt.create_array(VirtualEp, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert len(recv.fired) == 1
+
+
+def test_paper_aliases_exported():
+    assert ckd.CkDirect_createHandle is ckd.create_handle
+    assert ckd.CkDirect_assocLocal is ckd.assoc_local
+    assert ckd.CkDirect_put is ckd.put
+    assert ckd.CkDirect_ready is ckd.ready
+    assert ckd.CkDirect_readyMark is ckd.ready_mark
+    assert ckd.CkDirect_readyPollQ is ckd.ready_poll_q
+
+
+def test_same_pe_channel_works(machine):
+    from repro import Runtime
+
+    rt = Runtime(machine, n_pes=1)
+    arr = rt.create_array(Endpoint, dims=(2,))
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert np.array_equal(recv.recv_arr, send.send_arr)
+    assert len(recv.fired) == 1

@@ -1,0 +1,141 @@
+"""Tests for CkDirect callback flavors and cost accounting details."""
+
+import numpy as np
+import pytest
+
+from repro import ABE, SURVEYOR, Buffer, Chare, CkCallback, Runtime
+from repro import ckdirect as ckd
+
+from tests.ckdirect.channel_helpers import CROSS, Endpoint
+
+
+def test_ckcallback_as_channel_callback():
+    """A handle may carry a CkCallback instead of a plain function —
+    e.g. delivering completion to an entry method (the OpenAtom
+    'enqueue an entry method' pattern expressed declaratively)."""
+
+    class WithEntry(Endpoint):
+        def __init__(self):
+            super().__init__()
+            self.entries = []
+
+        def on_entry(self, cbdata):
+            self.entries.append(cbdata)
+
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(WithEntry, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = ckd.create_handle(
+        recv, recv.recv_buf, -1.0,
+        CkCallback.send(arr, 0, "on_entry"), cbdata="tag-7",
+    )
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert recv.entries == ["tag-7"]
+
+
+def test_bgp_direct_item_cost_accounting():
+    """The BG/P completion path must charge handler+callback on the
+    receiving PE (visible in its busy time), not scheduler costs."""
+    rt = Runtime(SURVEYOR, n_pes=2 * SURVEYOR.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), ctor_args=(64,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()  # 512 B: the normal (>224 B) DCMF path
+    ckd.assoc_local(send, handle, send.send_buf)
+    busy_before = recv._pe.busy_time
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    delta = recv._pe.busy_time - busy_before
+    expected = (
+        SURVEYOR.net.handler_normal + SURVEYOR.ckdirect.callback_overhead
+    )
+    assert delta == pytest.approx(expected)
+
+
+def test_bgp_short_path_cheaper_handler():
+    """Puts below the 224 B DCMF threshold ride the short handler."""
+    rt = Runtime(SURVEYOR, n_pes=2 * SURVEYOR.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)  # 64 B
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    busy_before = recv._pe.busy_time
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    delta = recv._pe.busy_time - busy_before
+    expected = (
+        SURVEYOR.net.handler_short + SURVEYOR.ckdirect.callback_overhead
+    )
+    assert delta == pytest.approx(expected)
+
+
+def test_ib_detection_cost_accounting():
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    busy_before = recv._pe.busy_time
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    delta = recv._pe.busy_time - busy_before
+    ckp = ABE.ckdirect
+    expected = (
+        ckp.poll_base + ckp.poll_per_handle  # one sweep over one handle
+        + ckp.detect_overhead + ckp.callback_overhead
+    )
+    assert delta == pytest.approx(expected)
+
+
+def test_put_issue_charged_on_sender():
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+
+    class Timed(Endpoint):
+        def timed_put(self, h):
+            t0 = self.now
+            ckd.put(h)
+            self.issue_cost = self.now - t0
+
+    arr = rt.create_array(Timed, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].timed_put(handle)
+    rt.run()
+    assert send.issue_cost == pytest.approx(ABE.ckdirect.put_issue)
+
+
+def test_setup_costs_charged_in_context_only():
+    """Handle creation at bootstrap (host) time is off the clock; the
+    same call inside an entry method charges handle_setup."""
+    rt = Runtime(ABE, n_pes=2)
+
+    class LateCreator(Chare):
+        def __init__(self):
+            self.buf = Buffer(array=np.zeros(4))
+
+        def create_now(self):
+            t0 = self.now
+            ckd.create_handle(self, self.buf, -1.0, lambda _: None)
+            self.cost = self.now - t0
+
+    arr = rt.create_array(LateCreator, dims=(1,))
+    arr.proxy[0].create_now()
+    rt.run()
+    assert arr.element(0).cost == pytest.approx(ABE.ckdirect.handle_setup)
+
+
+def test_host_call_runs_at_caller_cursor():
+    rt = Runtime(ABE, n_pes=1)
+    stamps = []
+
+    class H(Chare):
+        def go(self):
+            self.charge(5e-6)
+            self.rt.host_call(lambda: stamps.append(rt.now))
+
+    arr = rt.create_array(H, dims=(1,))
+    arr.proxy[0].go()
+    rt.run()
+    assert stamps[0] >= 5e-6

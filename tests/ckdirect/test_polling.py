@@ -1,0 +1,102 @@
+"""Unit tests for the Infiniband polling-queue mechanics and costs."""
+
+import pytest
+
+from repro import ABE, Runtime
+from repro import ckdirect as ckd
+from repro.apps.pingpong import ckdirect_pingpong
+
+from tests.ckdirect.channel_helpers import CROSS, Endpoint
+
+
+def _wire_n_channels(rt, arr, n):
+    """Element 0 creates n handles; element 1 associates all of them
+    with its (shared) send buffer... one handle per fresh buffer."""
+    import numpy as np
+
+    from repro import Buffer
+
+    recv, send = arr.element(0), arr.element(1)
+    handles = []
+    for i in range(n):
+        buf = Buffer(array=np.zeros(8))
+        h = ckd.create_handle(recv, buf, -1.0, recv.on_data, cbdata=i)
+        ckd.assoc_local(send, h, Buffer(array=np.ones(8)))
+        handles.append(h)
+    return handles
+
+
+def test_handles_join_pollq_at_creation():
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    handles = _wire_n_channels(rt, arr, 5)
+    pe = arr.element(0)._pe
+    assert len(pe.pollq) == 5
+    for h in handles:
+        assert h.hid in pe.pollq
+
+
+def test_detection_removes_from_pollq(channel):
+    rt, arr, recv, send, handle = channel
+    if rt.machine.kind != "ib":
+        pytest.skip("polling queue is the Infiniband implementation")
+    pe = recv._pe
+    assert handle.hid in pe.pollq
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert handle.hid not in pe.pollq
+    assert rt.trace.counter("pe.poll_detections") == 1
+
+
+def test_ready_reinserts_into_pollq(channel):
+    rt, arr, recv, send, handle = channel
+    if rt.machine.kind != "ib":
+        pytest.skip("polling queue is the Infiniband implementation")
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    arr.proxy[0].do_ready(handle)
+    rt.run()
+    assert handle.hid in recv._pe.pollq
+
+
+def test_poll_cost_scales_with_occupancy():
+    """Detection under a crowded polling queue costs more than under a
+    lone handle — the OpenAtom §5.2 effect in miniature."""
+
+    def rtt_with_extra_handles(n_extra):
+        rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+        arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+        _wire_n_channels(rt, arr, n_extra)  # idle channels, polled anyway
+        recv, send = arr.element(0), arr.element(1)
+        handle = recv.make_handle()
+        ckd.assoc_local(send, handle, send.send_buf)
+        arr.proxy[1].do_put(handle)
+        rt.run()
+        return recv.fired[0][0]
+
+    lone = rtt_with_extra_handles(0)
+    crowded = rtt_with_extra_handles(100)
+    extra = crowded - lone
+    ck = ABE.ckdirect
+    assert extra >= 100 * ck.poll_per_handle * 0.9
+
+
+def test_poll_sweep_counters():
+    r = ckdirect_pingpong(ABE, 1000, iterations=10)
+    # each detection implies at least one sweep
+    assert r.iterations == 10
+
+
+def test_bgp_has_no_polling():
+    from repro import SURVEYOR
+
+    rt = Runtime(SURVEYOR, n_pes=2 * SURVEYOR.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    assert len(recv._pe.pollq) == 0  # never registered
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert rt.trace.counter("pe.poll_sweeps") == 0
+    assert rt.trace.counter("pe.direct_completions") == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the out-of-band sentinel mechanics (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro import ABE, Buffer, Runtime
+from repro import ckdirect as ckd
+from repro.ckdirect.handle import SentinelError
+
+from tests.ckdirect.channel_helpers import CROSS, Endpoint
+
+
+def test_create_handle_stamps_sentinel():
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv = arr.element(0)
+    recv.make_handle(oob=-1.0)
+    assert recv.recv_arr[-1] == -1.0
+
+
+def test_sentinel_cleared_by_delivery(channel):
+    rt, arr, recv, send, handle = channel
+    assert not handle.sentinel_clear()
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert handle.sentinel_clear()
+    assert recv.recv_arr[-1] == send.send_arr[-1]
+
+
+def test_ready_restamps_sentinel():
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle(oob=-1.0)
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    arr.proxy[0].do_ready(handle)
+    rt.run()
+    assert recv.recv_arr[-1] == -1.0
+
+
+def test_payload_equal_to_oob_detected_as_contract_violation():
+    """"an out-of-band pattern that the user is sure will never appear
+    as received data" — if it does, the receiver could never detect the
+    message; strict mode raises instead of hanging."""
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle(oob=-1.0)
+    send.send_arr[-1] = -1.0  # the forbidden trailing value
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    with pytest.raises(SentinelError, match="out-of-band"):
+        rt.run()
+
+
+def test_sentinel_on_strided_view():
+    """Sentinel mechanics must work when the receive buffer is a
+    non-contiguous view (trailing element of the view, not of the
+    underlying array)."""
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+
+    class ColRecv(Endpoint):
+        def __init__(self):
+            super().__init__()
+            self.matrix = np.zeros((8, 4))
+            self.recv_buf = Buffer(array=self.matrix[:, 1])
+
+    arr = rt.create_array(ColRecv, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle(oob=-1.0)
+    assert recv.matrix[7, 1] == -1.0  # stamped through the view
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert np.array_equal(recv.matrix[:, 1], send.send_arr)
+
+
+def test_nan_as_oob_value():
+    """NaN is the paper's canonical out-of-band value for doubles."""
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle(oob=np.nan)
+    assert np.isnan(recv.recv_arr[-1])
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    # NaN != NaN, so sentinel_clear is true once *any* data landed —
+    # including data that happens to be NaN-free
+    assert handle.sentinel_clear()
+    assert len(recv.fired) == 1

@@ -1,0 +1,155 @@
+"""Unit tests for channel state-machine enforcement (misuse detection)."""
+
+import numpy as np
+import pytest
+
+from repro import ABE, SURVEYOR, Buffer, Runtime
+from repro import ckdirect as ckd
+from repro.ckdirect.handle import ChannelState, ChannelStateError, CkDirectError
+
+from tests.ckdirect.channel_helpers import CROSS, Endpoint
+
+
+def test_put_before_assoc_rejected(machine):
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    handle = arr.element(0).make_handle()
+    arr.proxy[1].do_put(handle)
+    with pytest.raises(CkDirectError, match="before assoc_local"):
+        rt.run()
+
+
+def test_double_assoc_rejected(channel):
+    rt, arr, recv, send, handle = channel
+    with pytest.raises(CkDirectError, match="twice"):
+        ckd.assoc_local(send, handle, send.send_buf)
+
+
+def test_size_mismatch_rejected(machine):
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    handle = arr.element(0).make_handle()
+    with pytest.raises(CkDirectError, match="B"):
+        ckd.assoc_local(arr.element(1), handle, Buffer(nbytes=12345))
+
+
+def test_put_outside_chare_context_rejected(channel):
+    rt, arr, recv, send, handle = channel
+    with pytest.raises(CkDirectError, match="outside"):
+        ckd.put(handle)
+
+
+def test_put_from_wrong_pe_rejected(machine):
+    rt = Runtime(machine, n_pes=3 * machine.cores_per_node)
+    from repro.charm import CustomMap
+
+    arr = rt.create_array(
+        Endpoint, dims=(3,),
+        mapping=CustomMap(lambda idx, dims, n: idx[0] * machine.cores_per_node),
+    )
+    handle = arr.element(0).make_handle()
+    ckd.assoc_local(arr.element(1), handle, arr.element(1).send_buf)
+    arr.proxy[2].do_put(handle)  # element 2 did not associate
+    with pytest.raises(CkDirectError, match="associated on PE"):
+        rt.run()
+
+
+def test_double_in_flight_put_rejected(machine):
+    """Paper: "a CkDirect channel can have at most one message in
+    flight"."""
+
+    class DoublePutter(Endpoint):
+        def two_puts(self, h):
+            ckd.put(h)
+            ckd.put(h)
+
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+    arr = rt.create_array(DoublePutter, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].two_puts(handle)
+    with pytest.raises(ChannelStateError):
+        rt.run()
+
+
+def test_put_before_rearm_rejected_on_ib():
+    """After consumption, a new put without ready() means the receiver
+    could never detect it — strict mode flags the app-level
+    synchronization bug (Infiniband implementation)."""
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert handle.state is ChannelState.CONSUMED
+    arr.proxy[1].do_put(handle)
+    with pytest.raises(ChannelStateError, match="synchronization"):
+        rt.run()
+
+
+def test_put_after_consume_legal_on_bgp():
+    """The BG/P implementation needs no ready(): completion re-arms."""
+    rt = Runtime(SURVEYOR, n_pes=2 * SURVEYOR.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert handle.puts_completed == 2
+
+
+def test_ready_mark_before_consume_rejected_on_ib():
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    handle = arr.element(0).make_handle()
+    ckd.assoc_local(arr.element(1), handle, arr.element(1).send_buf)
+    arr.proxy[0].do_ready_mark(handle)  # nothing consumed yet
+    with pytest.raises(ChannelStateError, match="consumed"):
+        rt.run()
+
+
+def test_ready_pollq_without_mark_rejected_on_ib():
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    arr.proxy[0].do_ready_pollq(handle)  # skipped ready_mark
+    with pytest.raises(ChannelStateError, match="sentinel"):
+        rt.run()
+
+
+def test_ready_calls_are_noops_on_bgp():
+    rt = Runtime(SURVEYOR, n_pes=2 * SURVEYOR.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    arr.proxy[0].do_ready(handle)  # legal, no effect required
+    arr.proxy[0].do_ready_pollq(handle)
+    rt.run()
+    assert handle.state in (ChannelState.ARMED, ChannelState.CONSUMED)
+
+
+def test_state_transitions_observable(channel):
+    rt, arr, recv, send, handle = channel
+    assert handle.state is ChannelState.ARMED
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    assert handle.state is ChannelState.CONSUMED
+    arr.proxy[0].do_ready_mark(handle)
+    rt.run()
+    if rt.machine.kind == "ib":
+        assert handle.state is ChannelState.MARKED
+    else:
+        assert handle.state is ChannelState.ARMED

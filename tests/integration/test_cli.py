@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out and "fig5" in out
+
+
+def test_pingpong_stacks(capsys):
+    for stack in ("charm", "ckdirect", "mpi", "mpi-put"):
+        assert main(["pingpong", "--stack", stack, "--machine", "Abe",
+                     "--size", "1000", "--iterations", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "us round trip" in out
+
+
+def test_pingpong_bgp(capsys):
+    assert main(["pingpong", "--machine", "Surveyor", "--size", "100",
+                 "--iterations", "10"]) == 0
+    assert "Surveyor" in capsys.readouterr().out
+
+
+def test_fig2a_small(capsys):
+    assert main(["fig2a", "--pes", "8", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "improvement %" in out
+
+
+def test_table_runs(capsys):
+    assert main(["table1", "--iterations", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "CkDirect CHARM++ (ours)" in out
+    assert "(paper)" in out
+
+
+def test_unknown_artifact_rejected():
+    with pytest.raises(SystemExit):
+        main(["nonsense"])
+
+
+def test_bad_machine_rejected():
+    with pytest.raises(SystemExit):
+        main(["pingpong", "--machine", "Frontier"])

@@ -1,0 +1,47 @@
+"""Unit tests for the MPI datatype surface."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    MPI_BYTE,
+    MPI_DOUBLE,
+    MPI_DOUBLE_COMPLEX,
+    MPI_FLOAT,
+    MPI_INT,
+    MPI_LONG,
+    count_bytes,
+    from_numpy,
+)
+
+
+def test_sizes():
+    assert MPI_BYTE.size == 1
+    assert MPI_INT.size == 4
+    assert MPI_FLOAT.size == 4
+    assert MPI_LONG.size == 8
+    assert MPI_DOUBLE.size == 8
+    assert MPI_DOUBLE_COMPLEX.size == 16
+
+
+def test_count_bytes():
+    assert count_bytes(1000, MPI_DOUBLE) == 8000
+    assert count_bytes(0, MPI_INT) == 0
+    with pytest.raises(ValueError):
+        count_bytes(-1, MPI_INT)
+
+
+def test_multiplication_sugar():
+    assert MPI_DOUBLE * 100 == 800
+
+
+def test_from_numpy():
+    assert from_numpy(np.float64) is MPI_DOUBLE
+    assert from_numpy(np.int32) is MPI_INT
+    assert from_numpy(np.complex128) is MPI_DOUBLE_COMPLEX
+    assert from_numpy("float32") is MPI_FLOAT
+
+
+def test_from_numpy_unknown():
+    with pytest.raises(KeyError):
+        from_numpy(np.float16)

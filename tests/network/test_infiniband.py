@@ -1,0 +1,126 @@
+"""Unit tests for the Infiniband fabric model."""
+
+import pytest
+
+from repro.network import ABE, InfinibandFabric, make_fabric
+from repro.network.base import FabricError
+from repro.sim import Simulator
+from repro.util.units import us
+
+
+def _fab(n_pes=16):
+    sim = Simulator()
+    return sim, make_fabric(sim, ABE, n_pes)
+
+
+def test_protocol_thresholds():
+    _, fab = _fab()
+    p = ABE.net
+    assert fab.protocol_for(p.eager_max) == "eager"
+    assert fab.protocol_for(p.eager_max + 1) == "packet"
+    assert fab.protocol_for(p.rdma_threshold) == "packet"
+    assert fab.protocol_for(p.rdma_threshold + 1) == "rendezvous"
+
+
+def test_force_protocol():
+    _, fab = _fab()
+    fab.force_protocol("eager")
+    assert fab.protocol_for(10**6) == "eager"
+    fab.force_protocol(None)
+    assert fab.protocol_for(10**6) == "rendezvous"
+    with pytest.raises(FabricError):
+        fab.force_protocol("carrier-pigeon")
+
+
+def test_charm_transport_adds_header():
+    sim, fab = _fab()
+    got = []
+    fab.charm_transport(0, 8, 0, 0.0, lambda: got.append(sim.now))
+    sim.run()
+    p, charm = ABE.net, ABE.charm
+    expected = p.proto_overhead + p.alpha + charm.header_bytes * p.beta
+    assert got[0] == pytest.approx(expected)
+
+
+def test_packet_protocol_charges_per_packet():
+    sim, fab = _fab()
+    got = []
+    nbytes = 10_000  # 3 packets with the header
+    fab.charm_transport(0, 8, nbytes, 0.0, lambda: got.append(sim.now))
+    sim.run()
+    p, charm = ABE.net, ABE.charm
+    total = nbytes + charm.header_bytes
+    npkts = -(-total // p.packet_size)
+    expected = (
+        p.proto_overhead + p.alpha + total * p.beta + npkts * p.packet_overhead
+    )
+    assert got[0] == pytest.approx(expected)
+
+
+def test_rendezvous_registration_charged_at_receiver_not_wire():
+    """The rendezvous transfer's wire time excludes registration; the
+    receive-handler cost carries it instead (it is CPU work)."""
+    sim, fab = _fab()
+    got = []
+    nbytes = 100_000
+    fab.charm_transport(0, 8, nbytes, 0.0, lambda: got.append(sim.now))
+    sim.run()
+    p, charm = ABE.net, ABE.charm
+    total = nbytes + charm.header_bytes
+    wire_only = p.proto_overhead + p.rendezvous_rtt + p.alpha + total * p.beta
+    assert got[0] == pytest.approx(wire_only)
+    reg = fab.recv_handler_cost(total)
+    assert reg == pytest.approx(p.reg_base + total * p.reg_per_byte)
+
+
+def test_recv_handler_cost_zero_below_threshold():
+    _, fab = _fab()
+    assert fab.recv_handler_cost(1000) == 0.0
+    assert fab.recv_handler_cost(ABE.net.rdma_threshold) == 0.0
+
+
+def test_direct_put_cheaper_than_any_charm_path():
+    for nbytes in (100, 10_000, 100_000):
+        sim, fab = _fab()
+        times = {}
+        fab.direct_put(0, 8, nbytes, 0.0, lambda: times.setdefault("put", sim.now))
+        sim.run()
+        sim2, fab2 = _fab()
+        fab2.charm_transport(0, 8, nbytes, 0.0,
+                             lambda: times.setdefault("msg", sim2.now))
+        sim2.run()
+        # message wire time alone (receiver costs excluded) already
+        # exceeds the put's end-to-end
+        assert times["put"] < times["msg"], nbytes
+
+
+def test_direct_put_dma_ramp():
+    """Small puts pay the DMA ramp; the marginal per-byte cost above
+    the ramp cap equals the wire beta."""
+    sim, fab = _fab()
+    times = []
+    for nbytes in (1000, 2000, 50_000, 51_000):
+        s = Simulator()
+        f = make_fabric(s, ABE, 16)
+        got = []
+        f.direct_put(0, 8, nbytes, 0.0, lambda: got.append(s.now))
+        s.run()
+        times.append(got[0])
+    p = ABE.net
+    small_slope = (times[1] - times[0]) / 1000
+    large_slope = (times[3] - times[2]) / 1000
+    assert small_slope == pytest.approx(p.beta + p.rdma_ramp_per_byte)
+    assert large_slope == pytest.approx(p.beta)
+
+
+def test_wrong_params_type_rejected():
+    import dataclasses
+
+    from repro.network.params import BGPParams
+
+    sim = Simulator()
+    broken = dataclasses.replace(ABE, net=BGPParams())
+    from repro.network.topology import FatTree
+
+    with pytest.raises(FabricError, match="IBParams"):
+        InfinibandFabric(sim, FatTree(2, 8), broken)

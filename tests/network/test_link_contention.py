@@ -1,0 +1,168 @@
+"""Tests for the opt-in per-link torus contention model."""
+
+import pytest
+
+from repro.network import SURVEYOR, make_fabric
+from repro.sim import Simulator
+
+
+def _fab(n_pes=256, link=False):
+    sim = Simulator()
+    fab = make_fabric(sim, SURVEYOR, n_pes)
+    if link:
+        fab.enable_link_contention(True)
+    return sim, fab
+
+
+def _pe_at(fab, coords):
+    topo = fab.topology
+    X, Y, Z = topo.dims
+    node = coords[0] + X * (coords[1] + Y * coords[2])
+    return node * topo.cores_per_node
+
+
+def test_route_dimension_order():
+    _, fab = _fab(link=True)
+    topo = fab.topology
+    src = 0
+    # +2 in x
+    dst = topo.coords(0)
+    X, Y, Z = topo.dims
+    dst_node = 2 % X
+    links = fab.route(0, dst_node)
+    assert len(links) == topo.hops(0, dst_node * topo.cores_per_node)
+    assert all(axis == 0 for _, axis, _ in links)
+
+
+def test_route_takes_shorter_way_around():
+    _, fab = _fab(link=True)
+    topo = fab.topology
+    X = topo.dims[0]
+    if X < 3:
+        pytest.skip("need x-dim >= 3 for wraparound")
+    # going to x = X-1 should take one -x hop, not X-1 +x hops
+    links = fab.route(0, X - 1)
+    assert len(links) == 1
+    assert links[0] == (0, 0, -1)
+
+
+def test_route_length_matches_hops():
+    _, fab = _fab(link=True)
+    topo = fab.topology
+    for dst_node in range(0, topo.n_nodes, 7):
+        if dst_node == 0:
+            continue
+        links = fab.route(0, dst_node)
+        assert len(links) == topo.hops(0, dst_node * topo.cores_per_node)
+
+
+def test_uncontended_latency_matches_node_model():
+    """A lone transfer times identically under both contention models."""
+    got = {}
+    for link in (False, True):
+        sim, fab = _fab(link=link)
+        topo = fab.topology
+        dst = next(
+            pe for pe in range(topo.n_pes) if topo.hops(0, pe) >= 2
+        )
+        out = []
+        fab.dcmf_send(0, dst, 10_000, 0.0, lambda: out.append(sim.now))
+        sim.run()
+        got[link] = out[0]
+    assert got[True] == pytest.approx(got[False])
+
+
+def test_shared_link_serializes():
+    """Two flows whose routes share a link serialize; in the node model
+    (different source nodes) they would not."""
+    sim, fab = _fab(link=True)
+    topo = fab.topology
+    X = topo.dims[0]
+    if X < 4:
+        pytest.skip("need x-dim >= 4")
+    cpn = topo.cores_per_node
+    # flow A: node x=1 -> x=3 crosses link (2, x, +1)
+    # flow B: node x=2 -> x=3 crosses the same link
+    a_src, a_dst = 1 * cpn, 3 * cpn
+    b_src, b_dst = 2 * cpn, 3 * cpn
+    nbytes = 100_000
+    out = []
+    p = SURVEYOR.net
+    fab.transfer(a_src, a_dst, nbytes, 0.0, 0.0, p.alpha, p.beta,
+                 cb=lambda: out.append(("a", sim.now)))
+    fab.transfer(b_src, b_dst, nbytes, 0.0, 0.0, p.alpha, p.beta,
+                 cb=lambda: out.append(("b", sim.now)))
+    sim.run()
+    times = dict(out)
+    # b waited a full streaming time behind a on the shared link
+    assert times["b"] - times["a"] >= nbytes * p.beta * 0.99
+
+
+def test_disjoint_paths_do_not_serialize():
+    sim, fab = _fab(link=True)
+    topo = fab.topology
+    Y = topo.dims[1]
+    if Y < 2:
+        pytest.skip("need y-dim >= 2")
+    cpn = topo.cores_per_node
+    X = topo.dims[0]
+    # flow A along +x at y=0; flow B along +y at x=0: no shared link
+    a_src, a_dst = 0, 1 * cpn
+    b_src, b_dst = 0 + 0, (X * 1) * cpn  # (0,1,0)
+    nbytes = 100_000
+    out = []
+    p = SURVEYOR.net
+    fab.transfer(a_src + 0, a_dst, nbytes, 0.0, 0.0, p.alpha, p.beta,
+                 cb=lambda: out.append(sim.now))
+    fab.transfer(a_src + 1, b_dst, nbytes, 0.0, 0.0, p.alpha, p.beta,
+                 cb=lambda: out.append(sim.now))
+    sim.run()
+    # both complete at (nearly) the same time: no mutual blocking
+    assert abs(out[0] - out[1]) < 1e-9
+
+
+def test_intra_node_bypasses_links():
+    sim, fab = _fab(link=True)
+    got = []
+    fab.transfer(0, 1, 1000, 0.0, 0.0, SURVEYOR.net.alpha, SURVEYOR.net.beta,
+                 cb=lambda: got.append(sim.now))
+    sim.run()
+    expected = SURVEYOR.net.shm_alpha + 1000 * SURVEYOR.net.shm_beta
+    assert got[0] == pytest.approx(expected)
+    assert fab.trace.counter("bgp.link_routed") == 0
+
+
+def test_apps_run_under_link_contention():
+    """End-to-end: the stencil completes correctly with per-link
+    contention enabled (slower or equal, never wrong)."""
+    import numpy as np
+
+    from repro.apps.stencil import gather_grid, jacobi_reference, run_stencil
+    from repro.charm import Runtime
+
+    # monkey-wire: run_stencil builds its own runtime, so patch the
+    # fabric right after construction via a tiny subclass of the driver
+    from repro.apps.stencil.base import IterationMonitor
+    from repro.apps.stencil.decomp import choose_grid
+    from repro.apps.stencil.jacobi_ckd import JacobiCkd
+    from tests.apps.test_stencil_validation import _reference_initial
+
+    domain, n_pes, vr, iters = (8, 8, 8), 4, 2, 2
+    grid = choose_grid(domain, n_pes * vr)
+    rt = Runtime(SURVEYOR, n_pes)
+    rt.fabric.enable_link_contention(True)
+    monitor = IterationMonitor(rt, None, iters)
+    arr = rt.create_array(
+        JacobiCkd, dims=grid,
+        ctor_args=(domain, grid, iters, True, 20090922, monitor),
+    )
+    monitor.proxy = arr.proxy
+    arr.proxy.bcast("setup")
+    rt.run()
+    got = np.zeros(domain)
+    bx, by, bz = (d // g for d, g in zip(domain, grid))
+    for idx, e in arr.elements.items():
+        i, j, k = idx
+        got[i*bx:(i+1)*bx, j*by:(j+1)*by, k*bz:(k+1)*bz] = e.interior()
+    ref = jacobi_reference(_reference_initial(domain, grid), iters)
+    assert np.array_equal(got, ref)

@@ -1,0 +1,65 @@
+"""Property-based tests: the parallel applications match their
+sequential references for arbitrary (small) configurations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ABE
+from repro.apps.matmul import gather_c, reference_c, run_matmul
+from repro.apps.stencil import gather_grid, jacobi_reference, run_stencil
+from tests.apps.test_stencil_validation import _reference_initial
+
+# domains whose dimensions are products of small powers of two, so any
+# chosen chare grid divides them
+dims = st.sampled_from([4, 8, 16])
+
+
+@given(
+    dims, dims, dims,
+    st.integers(min_value=1, max_value=4),  # PEs
+    st.integers(min_value=1, max_value=4),  # virtualization
+    st.integers(min_value=0, max_value=3),  # iterations
+    st.sampled_from(["msg", "ckd"]),
+)
+@settings(max_examples=20, deadline=None)
+def test_stencil_matches_reference_any_config(x, y, z, pes, vr, iters, mode):
+    domain = (x, y, z)
+    try:
+        res = run_stencil(ABE, pes, domain, vr, iters, mode=mode,
+                          validate=True, keep_runtime=True)
+    except ValueError:
+        # no factorization of pes*vr divides this domain — legal outcome
+        return
+    ref = jacobi_reference(_reference_initial(domain, res.grid), iters)
+    assert np.array_equal(gather_grid(res), ref)
+
+
+@given(
+    st.sampled_from([(16, 2), (32, 2), (32, 4), (64, 4)]),
+    st.integers(min_value=1, max_value=6),
+    st.sampled_from(["msg", "ckd"]),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=16, deadline=None)
+def test_matmul_matches_numpy_any_config(nc, pes, mode, iters):
+    N, c = nc
+    r = run_matmul(ABE, pes, N=N, c=c, iterations=iters, mode=mode,
+                   validate=True, keep_runtime=True)
+    assert np.allclose(gather_c(r), reference_c(r), rtol=1e-12, atol=1e-9)
+
+
+@given(
+    st.sampled_from([1, 2, 4, 8]),  # power-of-two PE counts
+    st.sampled_from(["msg", "ckd"]),
+)
+@settings(max_examples=12, deadline=None)
+def test_stencil_result_independent_of_pe_count(pes, mode):
+    """Physics must not depend on the machine: with the total chare
+    count held at 8, every PE count gives the identical grid result."""
+    domain = (8, 8, 8)
+    res = run_stencil(ABE, pes, domain, vr=8 // pes, iterations=2,
+                      mode=mode, validate=True, keep_runtime=True)
+    ref = jacobi_reference(_reference_initial(domain, res.grid), 2)
+    assert np.array_equal(gather_grid(res), ref)

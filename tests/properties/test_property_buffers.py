@@ -1,0 +1,67 @@
+"""Property-based tests for Buffer views and the sentinel invariant."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.util.buffers import Buffer
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+
+
+@given(shapes, st.data())
+@settings(max_examples=60, deadline=None)
+def test_copy_into_any_face_view_writes_exactly_the_face(shape, data):
+    """A put into any axis-aligned face view of a 3D array changes
+    exactly that face and nothing else."""
+    axis = data.draw(st.integers(min_value=0, max_value=2))
+    side = data.draw(st.sampled_from([0, -1]))
+    base = np.zeros(shape)
+    sl = [slice(None)] * 3
+    sl[axis] = side
+    view = base[tuple(sl)]
+    payload = np.arange(1.0, view.size + 1).reshape(view.shape)
+
+    Buffer(array=view).copy_from(Buffer(array=payload.copy()))
+    assert np.array_equal(base[tuple(sl)], payload)
+
+    mask = np.ones(shape, dtype=bool)
+    mask[tuple(sl)] = False
+    assert np.all(base[mask] == 0.0)
+
+
+@given(shapes)
+@settings(max_examples=50, deadline=None)
+def test_set_last_touches_exactly_one_element(shape):
+    base = np.zeros(shape)
+    buf = Buffer(array=base)
+    buf.set_last(7.5)
+    assert buf.get_last() == 7.5
+    assert np.count_nonzero(base) == 1
+    # it is the final element in C order
+    assert base.reshape(-1)[-1] == 7.5
+
+
+@given(
+    hnp.arrays(np.float64, st.integers(min_value=1, max_value=64),
+               elements=st.floats(allow_nan=False, allow_infinity=False,
+                                  min_value=-1e6, max_value=1e6))
+)
+@settings(max_examples=50, deadline=None)
+def test_snapshot_roundtrip(arr):
+    buf = Buffer(array=arr.copy())
+    snap = buf.snapshot()
+    assert np.array_equal(snap, arr)
+    buf.array[...] = -123.0
+    assert np.array_equal(snap, arr)  # snapshot unaffected
+
+
+@given(st.integers(min_value=1, max_value=1 << 20))
+@settings(max_examples=30, deadline=None)
+def test_virtual_buffer_size_preserved(nbytes):
+    assert Buffer.virtual(nbytes).nbytes == nbytes

@@ -1,0 +1,76 @@
+"""Property-based tests for CkDirect: any payload (not ending in the
+out-of-band value) survives any channel bit-for-bit; iterated puts
+never lose or duplicate messages."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import ABE, SURVEYOR, Buffer, Runtime
+from repro import ckdirect as ckd
+
+from tests.ckdirect.channel_helpers import CROSS, Endpoint
+
+payloads = hnp.arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=64),
+    elements=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+
+
+def _run_channel(machine, payload):
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    recv.recv_arr = np.zeros_like(payload)
+    recv.recv_buf = Buffer(array=recv.recv_arr)
+    send.send_arr = payload.copy()
+    send.send_buf = Buffer(array=send.send_arr)
+    handle = recv.make_handle(oob=-1.0)
+    ckd.assoc_local(send, handle, send.send_buf)
+    arr.proxy[1].do_put(handle)
+    rt.run()
+    return recv, handle
+
+
+@given(payloads)
+@settings(max_examples=40, deadline=None)
+def test_any_payload_survives_ib(payload):
+    assume(payload[-1] != -1.0)
+    recv, handle = _run_channel(ABE, payload)
+    assert np.array_equal(recv.recv_arr, payload)
+    assert len(recv.fired) == 1
+
+
+@given(payloads)
+@settings(max_examples=25, deadline=None)
+def test_any_payload_survives_bgp(payload):
+    assume(payload[-1] != -1.0)
+    recv, handle = _run_channel(SURVEYOR, payload)
+    assert np.array_equal(recv.recv_arr, payload)
+
+
+@given(st.integers(min_value=1, max_value=12), st.randoms(use_true_random=False))
+@settings(max_examples=25, deadline=None)
+def test_iterated_puts_exactly_once(n_rounds, rnd):
+    """Over n re-armed rounds, exactly n callbacks fire and the final
+    buffer equals the final payload."""
+    rt = Runtime(ABE, n_pes=2 * ABE.cores_per_node)
+    arr = rt.create_array(Endpoint, dims=(2,), mapping=CROSS)
+    recv, send = arr.element(0), arr.element(1)
+    handle = recv.make_handle()
+    ckd.assoc_local(send, handle, send.send_buf)
+    last = None
+    for k in range(n_rounds):
+        value = float(rnd.randrange(1, 1000))
+        send.send_arr[:] = value
+        last = value
+        arr.proxy[1].do_put(handle)
+        rt.run()
+        if k != n_rounds - 1:
+            arr.proxy[0].do_ready(handle)
+            rt.run()
+    assert len(recv.fired) == n_rounds
+    assert handle.puts_completed == n_rounds
+    assert np.all(recv.recv_arr == last)

@@ -1,0 +1,77 @@
+"""Property-based tests: torus distance is a metric; mappings are
+total and in-range; segment counting matches a brute-force scan."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.charm.mapping import BlockMap, RoundRobinMap
+from repro.ckdirect.ext.strided import segment_count
+from repro.network.topology import Torus3D
+
+dims_st = st.tuples(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+)
+
+
+@given(dims_st, st.data())
+@settings(max_examples=60, deadline=None)
+def test_torus_distance_is_a_metric(dims, data):
+    t = Torus3D(dims, cores_per_node=1)
+    n = t.n_nodes
+    a = data.draw(st.integers(min_value=0, max_value=n - 1))
+    b = data.draw(st.integers(min_value=0, max_value=n - 1))
+    c = data.draw(st.integers(min_value=0, max_value=n - 1))
+    # identity, symmetry, triangle inequality
+    assert t.hops(a, a) == 0
+    assert t.hops(a, b) == t.hops(b, a)
+    assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+    # diameter bound: sum of floor(dim/2)
+    assert t.hops(a, b) <= sum(d // 2 for d in dims)
+
+
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_mappings_total_and_balanced(n_elems, n_pes):
+    for mapping in (BlockMap(), RoundRobinMap()):
+        pes = [mapping.pe_for((i,), (n_elems,), n_pes) for i in range(n_elems)]
+        assert all(0 <= p < n_pes for p in pes)
+        from collections import Counter
+
+        counts = Counter(pes)
+        # a fair partition: per-PE loads differ by at most one
+        if n_elems >= n_pes:
+            assert max(counts.values()) - min(counts.values()) <= 1
+
+
+@given(
+    st.tuples(st.integers(min_value=1, max_value=5),
+              st.integers(min_value=1, max_value=5),
+              st.integers(min_value=1, max_value=5)),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_segment_count_matches_address_scan(shape, data):
+    base = np.zeros(shape)
+    axis = data.draw(st.integers(min_value=0, max_value=2))
+    sl = [slice(None)] * 3
+    sl[axis] = 0
+    view = base[tuple(sl)]
+
+    # brute force: walk elements in C order of the view, counting
+    # address discontinuities
+    itemsize = view.itemsize
+    flat_addrs = []
+    for idx in np.ndindex(view.shape):
+        offset = sum(i * s for i, s in zip(idx, view.strides))
+        flat_addrs.append(offset)
+    runs = 1
+    for a, b in zip(flat_addrs, flat_addrs[1:]):
+        if b - a != itemsize:
+            runs += 1
+    assert segment_count(view) == runs

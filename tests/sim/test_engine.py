@@ -1,0 +1,179 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_processed == 0
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2e-6, fired.append, "late")
+    sim.schedule(1e-6, fired.append, "early")
+    sim.run()
+    assert fired == ["early", "late"]
+    assert sim.now == pytest.approx(2e-6)
+
+
+def test_ties_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(1e-6, fired.append, i)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_priority_orders_within_tie():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1e-6, fired.append, "normal", priority=0)
+    sim.schedule(1e-6, fired.append, "urgent", priority=-1)
+    sim.run()
+    assert fired == ["urgent", "normal"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1e-9, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(5e-6, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1e-6, lambda: None)
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1e-6, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == pytest.approx(5e-6)
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1e-6, fired.append, 1)
+    sim.schedule(3e-6, fired.append, 3)
+    sim.run(until=2e-6)
+    assert fired == [1]
+    assert sim.now == pytest.approx(2e-6)
+    sim.run()
+    assert fired == [1, 3]
+
+
+def test_run_until_includes_boundary_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2e-6, fired.append, "x")
+    sim.run(until=2e-6)
+    assert fired == ["x"]
+
+
+def test_run_advances_clock_to_until_when_empty():
+    sim = Simulator()
+    sim.run(until=7e-6)
+    assert sim.now == pytest.approx(7e-6)
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(i * 1e-6, lambda: None)
+    sim.run(max_events=3)
+    assert sim.events_processed == 3
+    assert sim.pending == 7
+
+
+def test_cancelled_event_skipped():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1e-6, fired.append, "cancelled")
+    sim.schedule(2e-6, fired.append, "kept")
+    ev.cancel()
+    sim.run()
+    assert fired == ["kept"]
+
+
+def test_cancelled_events_not_counted():
+    sim = Simulator()
+    ev = sim.schedule(1e-6, lambda: None)
+    ev.cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_step_fires_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1e-6, fired.append, 1)
+    sim.schedule(2e-6, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as e:
+            errors.append(e)
+
+    sim.schedule(1e-6, nested)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_drain_raises_on_runaway():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1e-6, forever)
+
+    sim.schedule(0.0, forever)
+    with pytest.raises(SimulationError):
+        sim.drain(max_events=100)
+
+
+def test_kwargs_passed_through():
+    sim = Simulator()
+    got = {}
+    sim.schedule(1e-6, lambda **kw: got.update(kw), a=1, b="x")
+    sim.run()
+    assert got == {"a": 1, "b": "x"}
+
+
+def test_determinism_across_runs():
+    def run_once():
+        sim = Simulator()
+        order = []
+        for i in range(50):
+            sim.schedule((i % 7) * 1e-6, order.append, i)
+        sim.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,130 @@
+"""Unit tests for communication buffers (real views + virtual)."""
+
+import numpy as np
+import pytest
+
+from repro.util.buffers import Buffer, BufferError_
+
+
+def test_real_buffer_nbytes():
+    b = Buffer(array=np.zeros(10))
+    assert b.nbytes == 80
+    assert not b.is_virtual
+
+
+def test_virtual_buffer():
+    b = Buffer.virtual(1234)
+    assert b.nbytes == 1234
+    assert b.is_virtual
+
+
+def test_requires_exactly_one_backing():
+    with pytest.raises(BufferError_):
+        Buffer()
+    with pytest.raises(BufferError_):
+        Buffer(array=np.zeros(2), nbytes=16)
+
+
+def test_virtual_needs_positive_size():
+    with pytest.raises(BufferError_):
+        Buffer.virtual(0)
+    with pytest.raises(BufferError_):
+        Buffer.virtual(-5)
+
+
+def test_copy_from_same_shape():
+    src = Buffer(array=np.arange(6, dtype=float))
+    dst = Buffer(array=np.zeros(6))
+    dst.copy_from(src)
+    assert np.array_equal(dst.array, np.arange(6, dtype=float))
+
+
+def test_copy_from_reshapes_contiguous_source():
+    src = Buffer(array=np.arange(6, dtype=float))
+    target = np.zeros((2, 3))
+    dst = Buffer(array=target)
+    dst.copy_from(src)
+    assert np.array_equal(target, np.arange(6, dtype=float).reshape(2, 3))
+
+
+def test_copy_into_noncontiguous_view_writes_through():
+    """The CkDirect zero-copy property: a put into a view of the middle
+    of a matrix lands exactly there."""
+    matrix = np.zeros((4, 5))
+    row_view = Buffer(array=matrix[2, :])  # a row in the middle
+    row_view.copy_from(Buffer(array=np.arange(5, dtype=float)))
+    assert np.array_equal(matrix[2], np.arange(5, dtype=float))
+    assert np.all(matrix[0] == 0) and np.all(matrix[3] == 0)
+
+    col_view = Buffer(array=matrix[:, 1])  # strided column view
+    col_view.copy_from(Buffer(array=np.full(4, 7.0)))
+    assert np.array_equal(matrix[:, 1], np.full(4, 7.0))
+
+
+def test_copy_size_mismatch_rejected():
+    with pytest.raises(BufferError_):
+        Buffer(array=np.zeros(4)).copy_from(Buffer(array=np.zeros(5)))
+
+
+def test_copy_dtype_mismatch_rejected():
+    with pytest.raises(BufferError_):
+        Buffer(array=np.zeros(4)).copy_from(
+            Buffer(array=np.zeros(8, dtype=np.float32))
+        )
+
+
+def test_copy_with_virtual_side_is_timing_only():
+    v = Buffer.virtual(32)
+    r = Buffer(array=np.ones(4))
+    r.copy_from(v)  # no-op, no error
+    assert np.all(r.array == 1)
+    v.copy_from(r)  # also fine
+
+
+def test_last_element_on_contiguous():
+    b = Buffer(array=np.arange(5, dtype=float))
+    assert b.get_last() == 4.0
+    b.set_last(-1.0)
+    assert b.array[-1] == -1.0
+
+
+def test_last_element_on_noncontiguous_view():
+    m = np.arange(20, dtype=float).reshape(4, 5)
+    col = Buffer(array=m[:, 2])
+    assert col.get_last() == m[3, 2]
+    col.set_last(-9.0)
+    assert m[3, 2] == -9.0
+
+
+def test_last_element_on_2d_view():
+    m = np.zeros((6, 6))
+    face = Buffer(array=m[1:-1, 0])
+    face.set_last(5.0)
+    assert m[4, 0] == 5.0
+
+
+def test_virtual_has_no_elements():
+    v = Buffer.virtual(8)
+    with pytest.raises(BufferError_):
+        v.get_last()
+    with pytest.raises(BufferError_):
+        v.set_last(0.0)
+
+
+def test_snapshot_is_independent_copy():
+    arr = np.arange(4, dtype=float)
+    b = Buffer(array=arr)
+    snap = b.snapshot()
+    arr[0] = 99.0
+    assert snap[0] == 0.0
+    assert Buffer.virtual(8).snapshot() is None
+
+
+def test_view_shares_memory():
+    arr = np.zeros(10)
+    b = Buffer(array=arr)
+    sub = b.view(slice(2, 5))
+    sub.array[:] = 3.0
+    assert np.all(arr[2:5] == 3.0)
+    with pytest.raises(BufferError_):
+        Buffer.virtual(8).view(slice(0, 1))

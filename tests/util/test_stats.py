@@ -1,0 +1,51 @@
+"""Unit tests for statistics helpers."""
+
+import pytest
+
+from repro.util.stats import (
+    geometric_mean,
+    monotone_increasing,
+    percent_improvement,
+    speedup,
+    within_factor,
+)
+
+
+def test_percent_improvement():
+    assert percent_improvement(100.0, 88.0) == pytest.approx(12.0)
+    assert percent_improvement(10.0, 12.0) == pytest.approx(-20.0)
+    with pytest.raises(ValueError):
+        percent_improvement(0.0, 1.0)
+
+
+def test_speedup():
+    assert speedup(10.0, 5.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        speedup(1.0, 0.0)
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([3.0]) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])
+
+
+def test_monotone_increasing():
+    assert monotone_increasing([1, 2, 3])
+    assert not monotone_increasing([1, 3, 2])
+    assert monotone_increasing([1, 3, 2.5], slack=0.6)
+    assert monotone_increasing([])
+    assert monotone_increasing([5])
+
+
+def test_within_factor():
+    assert within_factor(10.0, 10.0, 1.5)
+    assert within_factor(14.0, 10.0, 1.5)
+    assert within_factor(7.0, 10.0, 1.5)
+    assert not within_factor(16.0, 10.0, 1.5)
+    assert not within_factor(6.0, 10.0, 1.5)
+    with pytest.raises(ValueError):
+        within_factor(-1.0, 1.0, 2.0)

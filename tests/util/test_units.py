@@ -1,0 +1,38 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_time_conversions_roundtrip():
+    assert units.to_us(units.us(4.2)) == pytest.approx(4.2)
+    assert units.to_ms(units.ms(1.5)) == pytest.approx(1.5)
+    assert units.ns(1000) == pytest.approx(units.us(1))
+    assert units.us(1000) == pytest.approx(units.ms(1))
+
+
+def test_sizes_are_decimal_like_the_paper():
+    assert units.KB(1) == 1_000
+    assert units.MB(1) == 1_000_000
+    assert units.KiB(1) == 1024
+    assert units.MiB(1) == 1024 * 1024
+
+
+def test_bandwidths():
+    assert units.GB_per_s(1) == pytest.approx(1e-9)
+    assert units.MB_per_s(500) == pytest.approx(2e-9)
+    # 1 GB at 1 GB/s takes 1 second
+    assert 1_000_000_000 * units.GB_per_s(1) == pytest.approx(1.0)
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(100) == "100B"
+    assert units.fmt_bytes(5_000) == "5KB"
+    assert units.fmt_bytes(500_000) == "500KB"
+    assert units.fmt_bytes(2_000_000) == "2MB"
+
+
+def test_fmt_us():
+    assert units.fmt_us(12.383e-6) == "12.383"
+    assert units.fmt_us(1e-3, digits=1) == "1000.0"
