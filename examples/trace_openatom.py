@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Timeline-trace OpenAtom both ways and measure the scheduler tax.
+
+Runs the OpenAtom mini-app twice at identical (scaled-down)
+configuration — plain Charm++ messages vs CkDirect — each under the
+Projections tracer, writes both Chrome trace-event timelines, and
+prints where the scheduler/RTS time went.  The delta is the paper's
+core claim made visible: CkDirect completions bypass the scheduler
+queue, so the `sched` category (dispatch overhead, which grows with
+queue depth) shrinks, replaced by cheaper poll sweeps.
+
+Open the written files in Perfetto (https://ui.perfetto.dev) or
+chrome://tracing: one track per PE, spans for entry execution and
+scheduler work, instants for sends, puts, and wire transfers — click
+any event and its `cause` arg names the event that caused it.
+
+Run:  python examples/trace_openatom.py
+"""
+
+from repro import ABE
+from repro.apps.openatom import abe_2cpn, run_openatom
+from repro.projections import (
+    EventLog,
+    category_totals,
+    tracing,
+    write_chrome_trace,
+)
+
+N_PES = 8
+CFG = dict(nstates=16, nplanes=4, grain=4, iterations=2)
+
+
+def traced_run(mode: str) -> tuple[float, EventLog]:
+    with tracing() as log:
+        result = run_openatom(abe_2cpn(ABE), N_PES, mode=mode, **CFG)
+    return result.mean_step_time, log
+
+
+def sched_time(log: EventLog) -> float:
+    cats = category_totals(log)
+    return sum(cats.get(c, {"time": 0.0})["time"] for c in ("sched", "rts"))
+
+
+def main() -> None:
+    msg_step, msg_log = traced_run("msg")
+    ckd_step, ckd_log = traced_run("ckd")
+
+    n_msg = write_chrome_trace(msg_log, "openatom_msg.trace.json")
+    n_ckd = write_chrome_trace(ckd_log, "openatom_ckd.trace.json")
+    print(f"wrote openatom_msg.trace.json ({n_msg} events) and "
+          f"openatom_ckd.trace.json ({n_ckd} events)")
+    print("open them side by side in https://ui.perfetto.dev\n")
+
+    msg_sched = sched_time(msg_log)
+    ckd_sched = sched_time(ckd_log)
+    print(f"{'':14} {'step time':>12} {'sched+rts PE time':>18}")
+    print(f"{'messages':14} {msg_step * 1e3:>9.3f} ms {msg_sched * 1e6:>15.1f} us")
+    print(f"{'ckdirect':14} {ckd_step * 1e3:>9.3f} ms {ckd_sched * 1e6:>15.1f} us")
+    saved = msg_sched - ckd_sched
+    pct = saved / msg_sched * 100 if msg_sched else 0.0
+    print(f"\nscheduler overhead saved by CkDirect: "
+          f"{saved * 1e6:.1f} us ({pct:.1f}% of the message version's)")
+
+
+if __name__ == "__main__":
+    main()

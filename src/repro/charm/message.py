@@ -123,6 +123,7 @@ class Message:
         "src_pe",
         "send_time",
         "is_internal",
+        "trace_eid",
     )
 
     def __init__(
@@ -145,6 +146,9 @@ class Message:
         self.src_pe = src_pe
         self.send_time = send_time
         self.is_internal = is_internal
+        #: latest timeline event on this message's causal chain (the
+        #: send instant, then the enqueue instant) — None untraced.
+        self.trace_eid = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -27,6 +27,14 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Dict, Optional
 
+from ..projections.events import (
+    CAT_CKDIRECT,
+    CAT_ENTRY,
+    CAT_IDLE,
+    CAT_MSG,
+    CAT_RTS,
+    CAT_SCHED,
+)
 from ..sim import Entity
 from .errors import ContextError
 from .message import Message
@@ -85,6 +93,13 @@ class PE(Entity):
             self.internal_queue.push(msg)
         else:
             self.queue.push(msg)
+        tr = self.rt.tracer
+        if tr is not None:
+            msg.trace_eid = tr.instant(
+                self.rt._trace_run, self.rank, CAT_MSG,
+                f"enqueue:{msg.method}", self.now, cause=msg.trace_eid,
+                args={"msg": msg.id, "bytes": msg.nbytes},
+            )
         self.kick()
 
     def push_direct(self, item: DirectItem) -> None:
@@ -124,6 +139,12 @@ class PE(Entity):
         self._loop_scheduled = False
         self._cursor = max(self.now, self.busy_until)
         start = self._cursor
+        tr = self.rt.tracer
+        if tr is not None and self.busy_until > 0.0 and start > self.busy_until:
+            # The PE sat idle between its last busy frontier and this
+            # wake-up — the scheduling gap a timeline view exposes.
+            tr.span(self.rt._trace_run, self.rank, CAT_IDLE, "idle",
+                    self.busy_until, start)
         self._executing = True
         try:
             self._drain_direct()
@@ -138,32 +159,58 @@ class PE(Entity):
             self.kick()
 
     def _drain_direct(self) -> None:
+        tr = self.rt.tracer
         while self.direct_q:
             item = self.direct_q.popleft()
+            t0 = self._cursor
             self.charge(item.cost)
+            eid = None
+            if tr is not None:
+                eid = tr.next_id()
+                tr.push(eid)
             self.rt._enter_pe(self)
             try:
                 item.fn()
             finally:
                 self.rt._exit_pe()
+                if tr is not None:
+                    tr.pop()
+                    tr.span(self.rt._trace_run, self.rank, CAT_CKDIRECT,
+                            "direct_callback", t0, self._cursor,
+                            cause=item.trace_eid, eid=eid)
             self.rt.trace.count("pe.direct_completions")
 
     def _poll_sweep(self) -> None:
         if not self.pollq:
             return
         ck = self.rt.machine.ckdirect
+        tr = self.rt.tracer
+        t0 = self._cursor
         self.charge(ck.poll_base + ck.poll_per_handle * len(self.pollq))
+        if tr is not None:
+            tr.span(self.rt._trace_run, self.rank, CAT_CKDIRECT, "poll_sweep",
+                    t0, self._cursor, args={"occupancy": len(self.pollq)})
         self.rt.trace.count("pe.poll_sweeps")
         self.rt.trace.sample("pe.pollq_occupancy", len(self.pollq))
         arrived = [h for h in self.pollq.values() if h.arrived]
         for handle in arrived:
             del self.pollq[handle.hid]
+            t0 = self._cursor
             self.charge(ck.detect_overhead + ck.callback_overhead)
+            eid = None
+            if tr is not None:
+                eid = tr.next_id()
+                tr.push(eid)
             self.rt._enter_pe(self)
             try:
                 handle.fire()
             finally:
                 self.rt._exit_pe()
+                if tr is not None:
+                    tr.pop()
+                    tr.span(self.rt._trace_run, self.rank, CAT_CKDIRECT,
+                            f"poll_callback:{handle.name}", t0, self._cursor,
+                            cause=handle.trace_eid, eid=eid)
             self.rt.trace.count("pe.poll_detections")
 
     def _drain_internal(self) -> None:
@@ -189,6 +236,30 @@ class PE(Entity):
         if charm.rts_copy_per_byte and msg.nbytes and not msg.is_internal:
             exposed = min(msg.nbytes, charm.rts_copy_cap) if charm.rts_copy_cap else msg.nbytes
             cost += exposed * charm.rts_copy_per_byte
+        tr = self.rt.tracer
+        if tr is None:
+            self.charge(cost)
+            self.rt.trace.count("pe.messages_executed")
+            self.rt._deliver(self, msg)
+            return
+        t0 = self._cursor
         self.charge(cost)
         self.rt.trace.count("pe.messages_executed")
-        self.rt._deliver(self, msg)
+        dispatch_eid = tr.span(
+            self.rt._trace_run, self.rank, CAT_SCHED,
+            f"dispatch:{msg.method}", t0, self._cursor,
+            cause=msg.trace_eid, args={"msg": msg.id, "queued": remaining},
+        )
+        t1 = self._cursor
+        eid = tr.next_id()
+        tr.push(eid)
+        try:
+            self.rt._deliver(self, msg)
+        finally:
+            tr.pop()
+            tr.span(
+                self.rt._trace_run, self.rank,
+                CAT_RTS if msg.is_internal else CAT_ENTRY,
+                msg.method, t1, self._cursor, cause=dispatch_eid, eid=eid,
+                args={"array": msg.array_id, "index": list(msg.index)},
+            )

@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from .section import ArraySection
 
 from ..network import Fabric, MachineParams, make_fabric
+from ..projections.events import CAT_MSG, HOST_TRACK
+from ..projections.eventlog import EventLog, current_tracer
 from ..sim import Simulator, Trace
 from .array import ChareArray
 from .callback import CkCallback
@@ -67,13 +69,26 @@ class Runtime:
         machine: MachineParams,
         n_pes: int,
         record_samples: bool = False,
+        tracer: Optional[EventLog] = None,
     ) -> None:
         if n_pes <= 0:
             raise CharmError(f"n_pes must be positive, got {n_pes}")
         self.machine = machine
         self.sim = Simulator()
-        self.trace = Trace(record_samples=record_samples)
+        self.trace = Trace(record_samples=record_samples,
+                           now_fn=lambda: self.sim.now)
+        #: timeline tracer (None = tracing off, the near-zero-cost
+        #: default); falls back to the ambient tracer installed by the
+        #: CLI's --trace-out / profile paths.
+        self.tracer = tracer if tracer is not None else current_tracer()
+        self._trace_run = (
+            self.tracer.new_run(f"charm:{machine.name}", owner=self, n_pes=n_pes)
+            if self.tracer is not None else 0
+        )
         self.fabric: Fabric = make_fabric(self.sim, machine, n_pes, self.trace)
+        if self.tracer is not None:
+            self.fabric.tracer = self.tracer
+            self.fabric.trace_run = self._trace_run
         self.n_pes = n_pes
         self.pes: List[PE] = [PE(self, r) for r in range(n_pes)]
         self.arrays: Dict[int, ChareArray] = {}
@@ -195,6 +210,14 @@ class Runtime:
         msg = Message(array.id, idx, method, args, nbytes, src_rank, start, internal)
         self.trace.count("charm.msgs_sent")
         self.trace.count("charm.msg_bytes", nbytes)
+        tr = self.tracer
+        if tr is not None:
+            msg.trace_eid = tr.instant(
+                self._trace_run,
+                src_rank if src_rank is not None else HOST_TRACK,
+                CAT_MSG, f"send:{method}", start, cause=tr.current,
+                args={"msg": msg.id, "bytes": nbytes, "dst_pe": dst_rank},
+            )
         dst_pe = self.pes[dst_rank]
         if src_rank is None or src_rank == dst_rank:
             # Host injection or PE-local delivery: straight to the queue.

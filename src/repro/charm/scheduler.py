@@ -64,8 +64,10 @@ class DirectItem:
     in the PE's context and may itself charge further time or send.
     """
 
-    __slots__ = ("cost", "fn")
+    __slots__ = ("cost", "fn", "trace_eid")
 
     def __init__(self, cost: float, fn: Callable[[], None]) -> None:
         self.cost = cost
         self.fn = fn
+        #: causing timeline event (the put-completion instant) — None untraced.
+        self.trace_eid = None

@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from ..charm.scheduler import DirectItem
+from ..projections.events import CAT_CKDIRECT
 from ..util.buffers import Buffer
 from .handle import (
     ChannelState,
@@ -162,11 +163,20 @@ def put(handle: CkDirectHandle, issue_cost: Optional[float] = None) -> None:
     if handle.state is ChannelState.CONSUMED:  # BG/P implicit re-arm
         handle.stamp_sentinel()
     handle.state = ChannelState.IN_FLIGHT
-    pe.charge(rt.machine.ckdirect.put_issue if issue_cost is None else issue_cost)
-    rt.trace.count("ckdirect.puts")
-    rt.trace.count("ckdirect.put_bytes", handle.recv_buffer.nbytes)
-
     nbytes = handle.recv_buffer.nbytes
+    pe.charge(rt.machine.ckdirect.put_issue if issue_cost is None else issue_cost)
+    tr = rt.tracer
+    if tr is not None:
+        # An instant, not a span: the issue cost is part of the
+        # surrounding entry-method span, which keeps every PE track a
+        # flat sequence of non-overlapping spans.
+        handle.trace_put_eid = tr.instant(
+            rt._trace_run, pe.rank, CAT_CKDIRECT, f"put:{handle.name}",
+            pe.cursor, cause=tr.current,
+            args={"bytes": nbytes, "dst_pe": handle.recv_pe.rank},
+        )
+    rt.trace.count("ckdirect.puts")
+    rt.trace.count("ckdirect.put_bytes", nbytes)
     src_rank, dst_rank = pe.rank, handle.recv_pe.rank
     if src_rank == dst_rank:
         # Same-PE channel: a local memcpy at shared-memory speed.
@@ -182,13 +192,23 @@ def _complete(handle: CkDirectHandle) -> None:
     """Fabric delivery callback: land data + notify the receiver."""
     rt = handle.rt
     handle.deliver()
+    tr = rt.tracer
+    if tr is not None:
+        handle.trace_eid = tr.instant(
+            rt._trace_run, handle.recv_pe.rank, CAT_CKDIRECT,
+            f"put_complete:{handle.name}", rt.sim.now,
+            cause=handle.trace_put_eid,
+            args={"bytes": handle.recv_buffer.nbytes},
+        )
     if _is_bgp(rt):
         # DCMF receive-completion callback: handler + user callback run
         # directly, around the scheduler queue.
         cost = rt.fabric.recv_handler_cost(
             handle.recv_buffer.nbytes
         ) + rt.machine.ckdirect.callback_overhead
-        handle.recv_pe.push_direct(DirectItem(cost, handle.fire))
+        item = DirectItem(cost, handle.fire)
+        item.trace_eid = handle.trace_eid
+        handle.recv_pe.push_direct(item)
     else:
         # Infiniband: wake the receiver; its poll sweep will detect the
         # sentinel change (if the handle is in the polling queue).

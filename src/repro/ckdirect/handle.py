@@ -100,6 +100,8 @@ class CkDirectHandle:
         "puts_completed",
         "bytes_received",
         "name",
+        "trace_put_eid",
+        "trace_eid",
     )
 
     def __init__(
@@ -126,6 +128,10 @@ class CkDirectHandle:
         self.puts_completed = 0
         self.bytes_received = 0
         self.name = name or f"chan{self.hid}"
+        #: timeline causality (None untraced): the in-flight put's
+        #: issue span, and the completion instant the callback chains to.
+        self.trace_put_eid = None
+        self.trace_eid = None
 
     # ------------------------------------------------------------------
     # Sentinel mechanics (real buffers only)

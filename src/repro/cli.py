@@ -9,6 +9,13 @@ terminal, without writing a driver script::
     python -m repro fig3 --machine Surveyor --full-scale
     python -m repro pingpong --machine Abe --stack ckdirect --size 30000
     python -m repro ablations
+    python -m repro profile --app openatom --machine Abe
+    python -m repro fig4 --trace-out fig4.trace.json
+
+``--trace-out PATH`` works on every artifact: the run is traced with
+the Projections event log and written as Chrome trace-event JSON
+(open in Perfetto / chrome://tracing; one process per simulated
+runtime, one thread per PE).
 """
 
 from __future__ import annotations
@@ -33,6 +40,8 @@ from .bench import (
     run_vr_ablation,
 )
 from .network.params import MACHINES
+from .projections.eventlog import EventLog, install_tracer, uninstall_tracer
+from .projections.export import write_chrome_trace
 
 ARTIFACTS = {
     "table1": "Table 1 — pingpong RTT, Infiniband (five stacks)",
@@ -44,6 +53,7 @@ ARTIFACTS = {
     "fig5": "Figure 5 — OpenAtom on Blue Gene/P (full + PC-only)",
     "ablations": "A1 polling, A2 protocols, A3 MPI sync, A4 virtualization, A5 backward path",
     "pingpong": "single pingpong measurement (pick stack/size/machine)",
+    "profile": "overhead profile of one app (pick --app/--stack/--machine)",
     "list": "list the available artifacts",
 }
 
@@ -64,8 +74,15 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--stack", default="ckdirect",
                    choices=["charm", "ckdirect", "mpi", "mpi-put"],
                    help="communication stack for `pingpong`")
-    p.add_argument("--iterations", type=int, default=100,
-                   help="averaging iterations for pingpong/tables")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="averaging iterations (default: 100 for "
+                        "pingpong/tables, per-app for `profile`)")
+    p.add_argument("--app", default="pingpong",
+                   choices=["pingpong", "stencil", "openatom"],
+                   help="application for `profile`")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write the run's event timeline as Chrome "
+                        "trace-event JSON (works with every artifact)")
     p.add_argument("--full-scale", action="store_true",
                    help="run the paper's full PE ranges (slow)")
     return p
@@ -86,16 +103,30 @@ def _run_pingpong(args) -> str:
         "mpi": mpi_pingpong,
         "mpi-put": mpi_put_pingpong,
     }[args.stack]
-    r = fn(machine, args.size, args.iterations)
+    r = fn(machine, args.size, args.iterations or 100)
     return (
         f"{r.stack} pingpong on {r.machine}: {r.nbytes}B -> "
         f"{r.rtt_us:.3f} us round trip ({r.iterations} iterations)"
     )
 
 
+def _write_trace(log, path: str) -> int:
+    """Write the trace file; returns the event count, or -1 on I/O error."""
+    try:
+        n = write_chrome_trace(log, path)
+    except OSError as exc:
+        print(f"error: cannot write trace to {path}: {exc}", file=sys.stderr)
+        return -1
+    print(f"wrote {n} trace events to {path}")
+    return n
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _parser().parse_args(argv)
+    parser = _parser()
+    args = parser.parse_args(argv)
+    if args.iterations is not None and args.iterations < 1:
+        parser.error(f"--iterations must be at least 1, got {args.iterations}")
     if args.full_scale:
         os.environ["REPRO_FULL_SCALE"] = "1"
 
@@ -105,30 +136,63 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{k:<{width}}  {ARTIFACTS[k]}")
         return 0
 
-    if args.artifact == "pingpong":
-        print(_run_pingpong(args))
+    if args.artifact == "profile":
+        # run_profile manages its own tracing context; --trace-out just
+        # persists the same log it builds the report from.
+        from .projections.profile import ProfileError, run_profile
+
+        try:
+            result = run_profile(
+                app=args.app,
+                machine=MACHINES[args.machine],
+                stack=args.stack,
+                size=args.size,
+                iterations=args.iterations,
+                n_pes=args.pes[0] if args.pes else None,
+            )
+        except ProfileError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(result["report"])
+        if args.trace_out:
+            n = _write_trace(result["log"], args.trace_out)
+            if n < 0:
+                return 2
         return 0
 
-    if args.artifact == "table1":
-        print(run_table1(iterations=args.iterations)["report"])
-    elif args.artifact == "table2":
-        print(run_table2(iterations=args.iterations)["report"])
-    elif args.artifact == "fig2a":
-        print(run_fig2a(pes=args.pes)["report"])
-    elif args.artifact == "fig2b":
-        print(run_fig2b(pes=args.pes)["report"])
-    elif args.artifact == "fig3":
-        print(run_fig3(MACHINES[args.machine], pes=args.pes)["report"])
-    elif args.artifact == "fig4":
-        print(run_fig4(pes=args.pes)["report"])
-    elif args.artifact == "fig5":
-        print(run_fig5(pes=args.pes)["report"])
-    elif args.artifact == "ablations":
-        for runner in (run_polling_ablation, run_protocol_ablation,
-                       run_mpi_sync_ablation, run_vr_ablation,
-                       run_backward_path_ablation):
-            print(runner()["report"])
-            print()
+    log = None
+    if args.trace_out:
+        log = EventLog()
+        install_tracer(log)
+    try:
+        iterations = args.iterations or 100
+        if args.artifact == "pingpong":
+            print(_run_pingpong(args))
+        elif args.artifact == "table1":
+            print(run_table1(iterations=iterations)["report"])
+        elif args.artifact == "table2":
+            print(run_table2(iterations=iterations)["report"])
+        elif args.artifact == "fig2a":
+            print(run_fig2a(pes=args.pes)["report"])
+        elif args.artifact == "fig2b":
+            print(run_fig2b(pes=args.pes)["report"])
+        elif args.artifact == "fig3":
+            print(run_fig3(MACHINES[args.machine], pes=args.pes)["report"])
+        elif args.artifact == "fig4":
+            print(run_fig4(pes=args.pes)["report"])
+        elif args.artifact == "fig5":
+            print(run_fig5(pes=args.pes)["report"])
+        elif args.artifact == "ablations":
+            for runner in (run_polling_ablation, run_protocol_ablation,
+                           run_mpi_sync_ablation, run_vr_ablation,
+                           run_backward_path_ablation):
+                print(runner()["report"])
+                print()
+    finally:
+        if log is not None:
+            uninstall_tracer()
+    if log is not None and _write_trace(log, args.trace_out) < 0:
+        return 2
     return 0
 
 

@@ -47,6 +47,8 @@ class Arrival:
     #: matcher calls to begin the data transfer once a receive matches.
     begin_data: Optional[Callable[[RecvPost], None]] = None
     user: Any = None
+    #: causing timeline event (the send instant) — None untraced.
+    trace_eid: Optional[int] = None
 
     @property
     def is_rendezvous(self) -> bool:

@@ -29,6 +29,8 @@ from typing import Callable, List, Optional
 
 from ..network import BGPFabric, MachineParams, make_fabric
 from ..network.params import IBM_MPI_BUFFERING_TABLE, interp_table
+from ..projections.events import CAT_MPI, CAT_MSG
+from ..projections.eventlog import current_tracer
 from ..sim import Entity, Simulator, Trace
 from .flavors import MPIError, regime_for, resolve_flavor, uses_rendezvous
 from .p2p import ANY_SOURCE, ANY_TAG, Arrival, Matcher, RecvPost
@@ -119,7 +121,11 @@ class MPIWorld:
         self.machine = machine
         self.params = resolve_flavor(machine, flavor)
         self.sim = sim if sim is not None else Simulator()
-        self.trace = Trace(record_samples=record_samples)
+        self.trace = Trace(record_samples=record_samples,
+                           now_fn=lambda: self.sim.now)
+        #: timeline tracer (ambient pickup, as in the charm Runtime).
+        self.tracer = current_tracer()
+        self._trace_run = 0
         if placement == "spread":
             # one rank per node — the paper's pingpong configuration
             n_pes = n_ranks * machine.cores_per_node
@@ -130,6 +136,12 @@ class MPIWorld:
         else:
             raise MPIError(f"unknown placement {placement!r}")
         self.fabric = make_fabric(self.sim, machine, n_pes, self.trace)
+        if self.tracer is not None:
+            self._trace_run = self.tracer.new_run(
+                f"mpi:{self.params.name}@{machine.name}", owner=self, n_pes=n_pes
+            )
+            self.fabric.tracer = self.tracer
+            self.fabric.trace_run = self._trace_run
         self.ranks: List[Rank] = [Rank(self, r, pes[r]) for r in range(n_ranks)]
 
     @property
@@ -184,19 +196,27 @@ class MPIWorld:
         dst = self.ranks[dst_rank]
         self.trace.count("mpi.sends")
         self.trace.count("mpi.bytes", nbytes)
+        tr = self.tracer
+        send_eid = None
+        if tr is not None:
+            send_eid = tr.instant(
+                self._trace_run, src.pe, CAT_MSG, "mpi_send", t0,
+                cause=tr.current,
+                args={"dst_rank": dst_rank, "bytes": nbytes, "tag": tag},
+            )
 
         if not self._is_bgp() and uses_rendezvous(self.params, nbytes):
-            self._send_rendezvous(src, dst, nbytes, tag, t0)
+            self._send_rendezvous(src, dst, nbytes, tag, t0, send_eid)
         else:
             extra = self._bgp_extra(nbytes)
             self._transport(
                 src, dst, nbytes, extra,
-                lambda: self._data_arrived(dst, src.rank, tag, nbytes),
+                lambda: self._data_arrived(dst, src.rank, tag, nbytes, send_eid),
                 start=t0,
             )
 
     def _send_rendezvous(self, src: Rank, dst: Rank, nbytes: int, tag: int,
-                         t0: float) -> None:
+                         t0: float, send_eid: Optional[int] = None) -> None:
         """Rendezvous: announce via RTS; data moves once a receive is
         posted, paying handshake + registration, then the zero-copy
         wire rate.  The RTS/CTS latency is folded into ``rndv_fixed``
@@ -209,7 +229,8 @@ class MPIWorld:
             beta = p.regimes[-1][2]
 
             def data_done() -> None:
-                done = Arrival(src.rank, tag, nbytes, self.sim.now)
+                done = Arrival(src.rank, tag, nbytes, self.sim.now,
+                               trace_eid=send_eid)
                 dst.exec_at(self.sim.now, self._finish_recv, dst, recv.cb, done, 0.0)
 
             self.fabric.transfer(
@@ -217,16 +238,18 @@ class MPIWorld:
                 pre=pre, alpha=self.machine.net.alpha, beta=beta, cb=data_done,
             )
 
-        arrival = Arrival(src.rank, tag, nbytes, t0, begin_data=begin_data)
+        arrival = Arrival(src.rank, tag, nbytes, t0, begin_data=begin_data,
+                          trace_eid=send_eid)
         recv = dst.matcher.arrive(arrival)
         self.trace.count("mpi.rendezvous")
         if recv is not None:
             begin_data(recv)
         # else: the matcher holds the RTS; _post_recv calls begin_data.
 
-    def _data_arrived(self, dst: Rank, src_rank: int, tag: int, nbytes: int) -> None:
+    def _data_arrived(self, dst: Rank, src_rank: int, tag: int, nbytes: int,
+                      send_eid: Optional[int] = None) -> None:
         """Eager data landed at the receiver."""
-        arrival = Arrival(src_rank, tag, nbytes, self.sim.now)
+        arrival = Arrival(src_rank, tag, nbytes, self.sim.now, trace_eid=send_eid)
         recv = dst.matcher.arrive(arrival)
         if recv is not None:
             dst.exec_at(self.sim.now, self._finish_recv, dst, recv.cb, arrival, 0.0)
@@ -249,6 +272,19 @@ class MPIWorld:
 
     def _finish_recv(self, rank: Rank, cb: Callable[[Arrival], None],
                      arrival: Arrival, extra: float) -> None:
+        t0 = rank._cursor
         rank.charge(self.params.tag_match + self.params.sw_recv + extra)
         self.trace.count("mpi.recvs")
-        cb(arrival)
+        tr = self.tracer
+        if tr is None:
+            cb(arrival)
+            return
+        eid = tr.next_id()
+        tr.push(eid)
+        try:
+            cb(arrival)
+        finally:
+            tr.pop()
+            tr.span(self._trace_run, rank.pe, CAT_MPI, "mpi_recv",
+                    t0, rank._cursor, eid=eid, cause=arrival.trace_eid,
+                    args={"src_rank": arrival.src, "bytes": arrival.nbytes})

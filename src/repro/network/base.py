@@ -40,6 +40,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Optional
 
+from ..projections.events import CAT_NET, NET_TRACK
 from ..sim import Entity, Simulator, Trace
 from .params import MachineParams
 from .topology import Topology
@@ -63,6 +64,10 @@ class Fabric(Entity):
         self.topology = topology
         self.machine = machine
         self.trace = trace if trace is not None else Trace()
+        #: timeline tracer + run id, attached by the owning runtime
+        #: when Projections tracing is on (None = off, zero cost).
+        self.tracer = None
+        self.trace_run = 0
         n = topology.n_nodes
         self._tx_free = [0.0] * n
         self._rx_free = [0.0] * n
@@ -117,6 +122,11 @@ class Fabric(Entity):
         if self.topology.same_node(src, dst):
             delivery = start + pre + self._shm_alpha() + wire_bytes * self._shm_beta()
             self.trace.count("net.shm_transfers")
+            if self.tracer is not None:
+                self.tracer.instant(
+                    self.trace_run, NET_TRACK, CAT_NET, "shm_transfer", delivery,
+                    args={"src": src, "dst": dst, "bytes": wire_bytes},
+                )
             self.sim.at(delivery, cb)
             return delivery
 
@@ -132,6 +142,12 @@ class Fabric(Entity):
         self._rx_free[dst_node] = rx_start + occ
         self.trace.count("net.transfers")
         self.trace.count("net.bytes", wire_bytes)
+        if self.tracer is not None:
+            self.tracer.instant(
+                self.trace_run, NET_TRACK, CAT_NET, "transfer", delivery,
+                args={"src": src, "dst": dst, "bytes": wire_bytes,
+                      "injected": start, "latency": delivery - start},
+            )
         self.sim.at(delivery, cb)
         return delivery
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..projections.events import CAT_NET, NET_TRACK
 from .base import Fabric, FabricError
 from .params import IBParams
 
@@ -104,6 +105,15 @@ class InfinibandFabric(Fabric):
         # identical, but in overlapped applications it is CPU the
         # receiver cannot hide, which is where the paper's stencil and
         # matmul gains come from.
+        if self.tracer is not None:
+            # The RTS/CTS handshake is folded into rendezvous_rtt (the
+            # calibration constant); surface it as a control event so
+            # timelines show where the round trip sits.
+            self.tracer.instant(
+                self.trace_run, NET_TRACK, CAT_NET, "rendezvous_ctrl", start,
+                args={"src": src, "dst": dst, "bytes": total,
+                      "rtt": self.p.rendezvous_rtt},
+            )
         pre = self.p.proto_overhead + self.p.rendezvous_rtt
         return self.transfer(
             src, dst, total, start,

@@ -1,0 +1,120 @@
+"""Typed timeline events (the Projections-style record vocabulary).
+
+A :class:`TraceEvent` is one record on a per-PE timeline: either a
+*span* (an interval of PE time — an entry-method execution, a poll
+sweep, a scheduler dispatch, an idle gap) or an *instant* (a point in
+time — a message send, an enqueue, a put completion landing).
+
+Every event carries
+
+* a log-unique id (``eid``),
+* its *track* — the ``(run, pe)`` pair it renders on; a run is one
+  :class:`~repro.charm.runtime.Runtime` / ``MPIWorld`` instance, so
+  multi-run artifacts (tables, figure sweeps) stay separable,
+* a ``cause``: the eid of the event that caused this one, forming the
+  message-causality graph the critical-path analysis walks (a send
+  causes an enqueue causes a dispatch causes an entry execution; a put
+  causes a completion causes a callback).
+
+Event *categories* partition time the way the paper's argument does:
+``sched`` is exactly the overhead CkDirect bypasses, ``ckdirect`` is
+what it pays instead, ``idle`` is what a timeline view exposes that
+aggregate counters cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Span categories (PE time attribution).
+CAT_ENTRY = "entry"  # application entry-method execution
+CAT_RTS = "rts"  # runtime-internal entries (reduction/broadcast stages)
+CAT_SCHED = "sched"  # scheduler dequeue + dispatch + receive-side costs
+CAT_CKDIRECT = "ckdirect"  # put issue, poll sweeps, completion callbacks
+CAT_IDLE = "idle"  # PE idle gaps between scheduler iterations
+CAT_MPI = "mpi"  # simulated-MPI rank activity
+
+#: Instant categories (point events).
+CAT_MSG = "msg"  # message send / enqueue
+CAT_NET = "net"  # wire-level transfers and rendezvous control traffic
+
+#: Categories whose spans count as *busy* PE time (everything but idle).
+BUSY_CATEGORIES = frozenset(
+    {CAT_ENTRY, CAT_RTS, CAT_SCHED, CAT_CKDIRECT, CAT_MPI}
+)
+
+#: Pseudo-PE track ids for events not tied to one core.
+HOST_TRACK = -1  # host/mainchare injections
+NET_TRACK = -2  # fabric-level events (one track per run)
+
+KIND_SPAN = "span"
+KIND_INSTANT = "instant"
+
+
+class ProjectionsError(RuntimeError):
+    """Raised for malformed event records or analysis misuse."""
+
+
+class TraceEvent:
+    """One timeline record (span or instant)."""
+
+    __slots__ = ("eid", "kind", "run", "pe", "category", "name", "t0", "t1",
+                 "cause", "args")
+
+    def __init__(
+        self,
+        eid: int,
+        kind: str,
+        run: int,
+        pe: int,
+        category: str,
+        name: str,
+        t0: float,
+        t1: float,
+        cause: Optional[int] = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if t1 < t0:
+            raise ProjectionsError(
+                f"event {name!r} ends before it starts: [{t0!r}, {t1!r}]"
+            )
+        self.eid = eid
+        self.kind = kind
+        self.run = run
+        self.pe = pe
+        self.category = category
+        self.name = name
+        self.t0 = t0
+        self.t1 = t1
+        self.cause = cause
+        self.args = args
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0 for instants)."""
+        return self.t1 - self.t0
+
+    @property
+    def is_span(self) -> bool:
+        """True for interval events."""
+        return self.kind == KIND_SPAN
+
+    @property
+    def track(self) -> tuple:
+        """The ``(run, pe)`` timeline this event renders on."""
+        return (self.run, self.pe)
+
+    @property
+    def name_key(self) -> str:
+        """The name's stable prefix (before any ``:`` qualifier) —
+        ``"put:chan3"`` and ``"put:chan7"`` both group under ``put``."""
+        name = self.name
+        i = name.find(":")
+        return name if i < 0 else name[:i]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        when = f"@{self.t0:.3g}" if not self.is_span else f"[{self.t0:.3g},{self.t1:.3g}]"
+        return (
+            f"<TraceEvent #{self.eid} {self.category}/{self.name} "
+            f"run{self.run} pe{self.pe} {when}>"
+        )

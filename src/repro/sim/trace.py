@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 
 class RunningStats:
@@ -101,10 +101,20 @@ class Trace:
         When False (the default for large performance runs), ``sample``
         still updates the per-category :class:`RunningStats` but does
         not retain the raw time series.
+    now_fn:
+        Clock callable used to stamp samples whose caller passes no
+        explicit time.  The owning runtime wires its simulator clock in
+        here (``now_fn=lambda: self.sim.now``) so retained samples carry
+        simulated time rather than a meaningless 0.0.
     """
 
-    def __init__(self, record_samples: bool = False) -> None:
+    def __init__(
+        self,
+        record_samples: bool = False,
+        now_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.record_samples = record_samples
+        self.now_fn = now_fn
         self.counters: dict[str, int] = defaultdict(int)
         self.stats: dict[str, RunningStats] = defaultdict(RunningStats)
         self.samples: dict[str, list[Sample]] = defaultdict(list)
@@ -114,10 +124,13 @@ class Trace:
         self.counters[name] += n
 
     def sample(self, name: str, value: float, time: Optional[float] = None) -> None:
-        """Record one value into a named statistic."""
+        """Record one value into a named statistic.  Retained samples
+        are stamped with ``time``, falling back to the attached clock."""
         self.stats[name].add(value)
         if self.record_samples:
-            self.samples[name].append(Sample(time if time is not None else 0.0, value))
+            if time is None:
+                time = self.now_fn() if self.now_fn is not None else 0.0
+            self.samples[name].append(Sample(time, value))
 
     def counter(self, name: str) -> int:
         """Current value of a named counter (0 if never counted)."""

@@ -46,3 +46,80 @@ def test_unknown_artifact_rejected():
 def test_bad_machine_rejected():
     with pytest.raises(SystemExit):
         main(["pingpong", "--machine", "Frontier"])
+
+
+def test_profile_artifact(capsys):
+    assert main(["profile", "--app", "pingpong", "--machine", "Abe",
+                 "--size", "1000", "--iterations", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "profile: pingpong/ckdirect on Abe" in out
+    assert "reconciliation vs Trace counters" in out
+    assert "MISMATCH" not in out
+    assert "critical path:" in out
+
+
+def test_profile_rejects_bad_stack(capsys):
+    assert main(["profile", "--app", "stencil", "--stack", "mpi"]) == 2
+    err = capsys.readouterr().err
+    assert "supports stacks" in err
+
+
+def test_trace_out_unwritable_path(capsys):
+    assert main(["pingpong", "--iterations", "5",
+                 "--trace-out", "/nonexistent-dir/t.json"]) == 2
+    assert "cannot write trace" in capsys.readouterr().err
+
+
+def test_trace_out_writes_valid_chrome_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "pp.trace.json"
+    assert main(["pingpong", "--machine", "Abe", "--stack", "ckdirect",
+                 "--size", "2000", "--iterations", "10",
+                 "--trace-out", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "us round trip" in out
+    assert f"trace events to {path}" in out
+
+    doc = json.loads(path.read_text())
+    data = [r for r in doc["traceEvents"] if r["ph"] in ("X", "i")]
+    assert data
+    names = {r["name"].split(":")[0] for r in data}
+    assert {"poll_sweep", "put_complete"} <= names
+    # at least one complete span on every PE track that saw events,
+    # and monotone timestamps within each track
+    tracks = {}
+    for r in data:
+        tracks.setdefault((r["pid"], r["tid"]), []).append(r)
+    pe_tracks = [k for k in tracks if k[1] >= 2]  # tid 0/1 are net/host
+    assert pe_tracks
+    for key in pe_tracks:
+        assert any(r["ph"] == "X" for r in tracks[key]), key
+    for key, rows in tracks.items():
+        ts = [r["ts"] for r in rows]
+        assert ts == sorted(ts), key
+
+
+def test_trace_out_profile(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "prof.trace.json"
+    assert main(["profile", "--size", "1000", "--iterations", "5",
+                 "--trace-out", str(path)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_trace_out_multi_run_artifact(tmp_path):
+    import json
+
+    path = tmp_path / "fig2a.trace.json"
+    assert main(["fig2a", "--pes", "8", "--trace-out", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    pids = {r["pid"] for r in doc["traceEvents"]}
+    assert len(pids) > 1  # one trace process per simulated runtime
+
+
+def test_nonpositive_iterations_rejected():
+    with pytest.raises(SystemExit):
+        main(["pingpong", "--iterations", "0"])

@@ -1,0 +1,85 @@
+"""Tests for the Chrome trace-event exporter and terminal views."""
+
+import json
+
+import pytest
+
+from repro.projections.events import (
+    CAT_ENTRY,
+    CAT_MSG,
+    CAT_NET,
+    HOST_TRACK,
+    NET_TRACK,
+)
+from repro.projections.eventlog import EventLog
+from repro.projections.export import (
+    chrome_trace,
+    render_utilization,
+    write_chrome_trace,
+)
+
+
+def _sample_log() -> EventLog:
+    log = EventLog()
+    log.new_run("charm:Abe", n_pes=2)
+    e = log.span(0, 0, CAT_ENTRY, "go", 0.0, 2e-6)
+    log.instant(0, HOST_TRACK, CAT_MSG, "send:go", 0.0)
+    log.instant(0, NET_TRACK, CAT_NET, "transfer", 1e-6, cause=e)
+    log.span(0, 1, CAT_ENTRY, "recv", 2e-6, 3e-6, cause=e)
+    return log
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace(_sample_log())
+    events = doc["traceEvents"]
+    meta = [r for r in events if r["ph"] == "M"]
+    names = {r["name"]: r for r in meta}
+    assert names["process_name"]["args"]["name"] == "charm:Abe"
+    thread_names = {r["args"]["name"] for r in meta if r["name"] == "thread_name"}
+    # both declared PE tracks plus the pseudo-tracks that saw events
+    assert {"PE 0", "PE 1", "host", "net"} <= thread_names
+    assert doc["otherData"]["runs"] == ["charm:Abe"]
+
+
+def test_tid_mapping_and_phases():
+    doc = chrome_trace(_sample_log())
+    data = [r for r in doc["traceEvents"] if r["ph"] in ("X", "i")]
+    by_name = {r["name"]: r for r in data}
+    assert by_name["go"]["tid"] == 2          # PE 0 -> tid 2
+    assert by_name["recv"]["tid"] == 3        # PE 1 -> tid 3
+    assert by_name["send:go"]["tid"] == 1     # host pseudo-track
+    assert by_name["transfer"]["tid"] == 0    # net pseudo-track
+    assert by_name["go"]["ph"] == "X"
+    assert by_name["go"]["dur"] == pytest.approx(2.0)   # us
+    assert by_name["transfer"]["ph"] == "i"
+    assert by_name["transfer"]["s"] == "t"
+    assert by_name["transfer"]["ts"] == pytest.approx(1.0)
+
+
+def test_causality_survives_export():
+    doc = chrome_trace(_sample_log())
+    data = [r for r in doc["traceEvents"] if r["ph"] in ("X", "i")]
+    by_name = {r["name"]: r for r in data}
+    assert by_name["recv"]["args"]["cause"] == by_name["go"]["args"]["eid"]
+
+
+def test_events_sorted_by_time():
+    doc = chrome_trace(_sample_log())
+    ts = [r["ts"] for r in doc["traceEvents"] if r["ph"] in ("X", "i")]
+    assert ts == sorted(ts)
+
+
+def test_write_chrome_trace_roundtrip(tmp_path):
+    log = _sample_log()
+    path = tmp_path / "out.trace.json"
+    n = write_chrome_trace(log, str(path))
+    assert n == len(log.events)
+    doc = json.loads(path.read_text())
+    assert len([r for r in doc["traceEvents"] if r["ph"] in ("X", "i")]) == n
+
+
+def test_render_utilization():
+    out = render_utilization(_sample_log())
+    assert "run0/PE 0" in out
+    assert "util %" in out
+    assert render_utilization(EventLog()) == "(no span events recorded)"

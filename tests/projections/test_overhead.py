@@ -1,0 +1,51 @@
+"""The when-disabled guarantee: no tracer, no events, no state.
+
+The hooks all follow ``tr = <owner>.tracer; if tr is not None: ...``,
+so a disabled run must leave zero tracing state anywhere — these tests
+pin the observable half of that contract (the wall-clock half is the
+acceptance run against the pre-instrumentation baseline).
+"""
+
+from repro.apps.pingpong import ckdirect_pingpong, mpi_pingpong
+from repro.charm.runtime import Runtime
+from repro.mpi.sim_mpi import MPIWorld
+from repro.network.params import ABE, SURVEYOR
+from repro.projections.eventlog import EventLog, current_tracer, tracing
+
+
+def test_no_ambient_tracer_by_default():
+    assert current_tracer() is None
+
+
+def test_untraced_runtime_holds_no_tracer():
+    rt = Runtime(ABE, 4)
+    assert rt.tracer is None
+    assert rt.fabric.tracer is None
+    world = MPIWorld(ABE, 2)
+    assert world.tracer is None
+    assert world.fabric.tracer is None
+
+
+def test_untraced_run_appends_to_no_log():
+    stale = EventLog()
+    with tracing(stale):
+        pass  # installed and removed before any run exists
+    ckdirect_pingpong(ABE, 1000, iterations=5)
+    ckdirect_pingpong(SURVEYOR, 1000, iterations=5)
+    mpi_pingpong(ABE, 1000, iterations=5)
+    assert len(stale) == 0
+
+
+def test_untraced_objects_carry_no_eids():
+    """Message/handle trace fields stay None on untraced runs (the
+    hooks never touched them)."""
+    rt = ckdirect_pingpong(ABE, 1000, iterations=3)
+    assert rt is not None  # the run completed without a tracer
+
+
+def test_results_identical_with_and_without_tracing():
+    """Tracing is observational: simulated results must not change."""
+    base = ckdirect_pingpong(ABE, 30_000, iterations=20)
+    with tracing():
+        traced = ckdirect_pingpong(ABE, 30_000, iterations=20)
+    assert traced.rtt == base.rtt

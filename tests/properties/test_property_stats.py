@@ -1,0 +1,65 @@
+"""Property test: RunningStats.merge equals single-pass accumulation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.trace import RunningStats
+
+_floats = st.floats(min_value=-1e9, max_value=1e9,
+                    allow_nan=False, allow_infinity=False)
+
+
+def _fill(values):
+    st_ = RunningStats()
+    for v in values:
+        st_.add(v)
+    return st_
+
+
+@given(st.lists(_floats), st.lists(_floats))
+def test_merge_matches_single_pass(xs, ys):
+    left = _fill(xs)
+    left.merge(_fill(ys))
+    combined = _fill(xs + ys)
+
+    assert left.n == combined.n
+    assert left.total == pytest.approx(combined.total, rel=1e-9, abs=1e-6)
+    assert left.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+    assert left.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-3)
+    if xs or ys:
+        assert left.min == combined.min
+        assert left.max == combined.max
+    else:
+        assert math.isinf(left.min) and math.isinf(left.max)
+
+
+@given(st.lists(st.lists(_floats), max_size=6))
+def test_merge_is_order_insensitive_in_n_and_total(chunks):
+    merged = RunningStats()
+    for chunk in chunks:
+        merged.merge(_fill(chunk))
+    flat = [v for chunk in chunks for v in chunk]
+    combined = _fill(flat)
+    assert merged.n == combined.n
+    assert merged.total == pytest.approx(combined.total, rel=1e-9, abs=1e-6)
+    assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+
+
+@given(st.lists(_floats, min_size=1))
+def test_merge_into_empty_copies(xs):
+    src = _fill(xs)
+    dst = RunningStats()
+    dst.merge(src)
+    assert dst.n == src.n
+    assert dst.mean == src.mean
+    assert dst.variance == src.variance
+    assert dst.min == src.min and dst.max == src.max
+
+
+def test_merge_empty_is_noop():
+    st_ = _fill([1.0, 2.0])
+    st_.merge(RunningStats())
+    assert st_.n == 2 and st_.mean == pytest.approx(1.5)

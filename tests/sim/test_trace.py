@@ -115,3 +115,26 @@ def test_trace_reset():
     tr.reset()
     assert tr.counter("a") == 0
     assert tr.samples == {}
+
+
+def test_trace_samples_stamped_by_attached_clock():
+    clock = [0.0]
+    tr = Trace(record_samples=True, now_fn=lambda: clock[0])
+    clock[0] = 3.5
+    tr.sample("lat", 1.0)
+    clock[0] = 7.25
+    tr.sample("lat", 2.0)
+    times = [s.time for s in tr.samples["lat"]]
+    assert times == [3.5, 7.25]
+
+
+def test_trace_explicit_time_beats_clock():
+    tr = Trace(record_samples=True, now_fn=lambda: 99.0)
+    tr.sample("lat", 1.0, time=2.0)
+    assert tr.samples["lat"][0].time == 2.0
+
+
+def test_trace_sample_time_defaults_to_zero_without_clock():
+    tr = Trace(record_samples=True)
+    tr.sample("lat", 1.0)
+    assert tr.samples["lat"][0].time == 0.0
