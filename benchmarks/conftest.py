@@ -3,13 +3,40 @@
 Every benchmark regenerates one table or figure of the paper, prints
 it (visible with ``pytest -s``), saves it under
 ``benchmarks/results/``, and asserts the paper's shape claims.
+
+Suite-wide options:
+
+``--jobs N``
+    Fan each artifact's sweep points over N worker processes
+    (exported as ``REPRO_JOBS``, which the runners resolve).  Reports
+    and assertions are byte-identical at any N — the determinism
+    regression test pins this — so it is purely a wall-clock knob.
+
+``--bench-json [PATH]``
+    Append this session's timing trajectory to ``PATH`` (default
+    ``benchmarks/results/BENCH_sweeps.json``): wall-clock per
+    benchmark module, per-sweep wall/events/events-per-second records,
+    and the parallel speedup against the file's most recent serial
+    entry.  Successive sessions accumulate, so the file tracks how
+    the simulator's throughput moves across PRs.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
+import time
+from collections import defaultdict
+
+import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BENCH_JSON_DEFAULT = RESULTS_DIR / "BENCH_sweeps.json"
+
+#: module basename -> accumulated test wall-clock seconds.
+_module_wall = defaultdict(float)
+_session_t0 = 0.0
 
 
 def save_report(name: str, text: str) -> None:
@@ -17,3 +44,77 @@ def save_report(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro sweeps")
+    group.addoption(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run sweep points over N worker processes (sets REPRO_JOBS; "
+             "results are identical at any N)",
+    )
+    group.addoption(
+        "--bench-json", nargs="?", const=str(BENCH_JSON_DEFAULT),
+        default=None, metavar="PATH",
+        help="append this session's sweep timings to PATH "
+             f"(default {BENCH_JSON_DEFAULT})",
+    )
+
+
+def pytest_configure(config):
+    global _session_t0
+    _session_t0 = time.perf_counter()
+    jobs = config.getoption("--jobs")
+    if jobs is not None:
+        if jobs < 1:
+            raise pytest.UsageError(f"--jobs must be at least 1, got {jobs}")
+        os.environ["REPRO_JOBS"] = str(jobs)
+
+
+def pytest_runtest_logreport(report):
+    # All phases: module-scoped artifact fixtures run during "setup".
+    module = report.nodeid.split("::", 1)[0]
+    _module_wall[pathlib.PurePosixPath(module).name] += report.duration
+
+
+def _load_entries(path: pathlib.Path):
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    return data if isinstance(data, list) else []
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    if not path:
+        return
+    from repro.sweep import resolve_jobs, stats
+
+    path = pathlib.Path(path)
+    entries = _load_entries(path)
+    sweeps = stats.drain()
+    entry = {
+        "jobs": resolve_jobs(session.config.getoption("--jobs")),
+        "exit_status": int(exitstatus),
+        "total_wall_s": round(time.perf_counter() - _session_t0, 3),
+        "modules": {k: round(v, 3) for k, v in sorted(_module_wall.items())},
+        "sweeps": sweeps,
+        "sweep_wall_s": round(sum(s["wall_s"] for s in sweeps), 3),
+        "sweep_events": sum(s["events"] for s in sweeps),
+    }
+    if entry["jobs"] > 1:
+        serial = [e for e in entries if e.get("jobs") == 1]
+        if serial:
+            base = serial[-1].get("sweep_wall_s") or 0.0
+            if base and entry["sweep_wall_s"]:
+                entry["speedup_vs_serial"] = round(
+                    base / entry["sweep_wall_s"], 2
+                )
+    entries.append(entry)
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+    print(f"\nwrote sweep trajectory entry (jobs={entry['jobs']}, "
+          f"{len(sweeps)} sweeps) to {path}")

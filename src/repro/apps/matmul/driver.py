@@ -39,6 +39,7 @@ class MatMulResult:
     iterations: int
     iter_times: List[float]
     runtime: Optional[Runtime] = field(default=None, repr=False)
+    events: int = 0  # simulator events fired by the run
 
     @property
     def mean_iter_time(self) -> float:
@@ -88,7 +89,16 @@ def run_matmul(
         iterations=iterations,
         iter_times=monitor.iter_times,
         runtime=rt if keep_runtime else None,
+        events=rt.sim.events_processed,
     )
+
+
+def matmul_point(
+    machine: MachineParams, mode: str, n_pes: int, **kwargs
+) -> dict:
+    """Picklable sweep-point adapter: one matmul run → plain floats."""
+    r = run_matmul(machine, n_pes, mode=mode, **kwargs)
+    return {"mean_s": r.mean_iter_time, "events": r.events}
 
 
 def gather_c(result: MatMulResult) -> np.ndarray:

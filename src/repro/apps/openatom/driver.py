@@ -76,6 +76,7 @@ class OpenAtomResult:
     cfg: OpenAtomConfig
     step_times: List[float]
     runtime: Optional[Runtime] = field(default=None, repr=False)
+    events: int = 0  # simulator events fired by the run
 
     @property
     def mean_step_time(self) -> float:
@@ -134,7 +135,16 @@ def run_openatom(
         cfg=cfg,
         step_times=monitor.step_times,
         runtime=rt if keep_runtime else None,
+        events=rt.sim.events_processed,
     )
+
+
+def openatom_point(
+    machine: MachineParams, mode: str, n_pes: int, **cfg_overrides
+) -> dict:
+    """Picklable sweep-point adapter: one OpenAtom run → plain floats."""
+    r = run_openatom(machine, n_pes, mode=mode, **cfg_overrides)
+    return {"mean_s": r.mean_step_time, "events": r.events}
 
 
 def abe_2cpn(machine: MachineParams) -> MachineParams:

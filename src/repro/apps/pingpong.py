@@ -47,6 +47,7 @@ class PingpongResult:
     nbytes: int
     iterations: int
     rtt: float  # seconds, averaged per iteration
+    events: int = 0  # simulator events fired by the run
 
     @property
     def rtt_us(self) -> float:
@@ -97,7 +98,8 @@ def charm_pingpong(
     )
     arr.proxy[0].start()
     rt.run()
-    return PingpongResult("charm", machine.name, nbytes, iterations, rt.result_time)
+    return PingpongResult("charm", machine.name, nbytes, iterations, rt.result_time,
+                          events=rt.sim.events_processed)
 
 
 # ---------------------------------------------------------------------------
@@ -181,7 +183,8 @@ def ckdirect_pingpong(
     )
     arr.proxy.bcast("setup")
     rt.run()
-    return PingpongResult("ckdirect", machine.name, nbytes, iterations, rt.result_time)
+    return PingpongResult("ckdirect", machine.name, nbytes, iterations, rt.result_time,
+                          events=rt.sim.events_processed)
 
 
 # ---------------------------------------------------------------------------
@@ -217,7 +220,8 @@ def mpi_pingpong(
     r0.isend(1, nbytes)
     world.run()
     return PingpongResult(
-        f"mpi:{world.params.name}", machine.name, nbytes, iterations, state["rtt"]
+        f"mpi:{world.params.name}", machine.name, nbytes, iterations, state["rtt"],
+        events=world.sim.events_processed,
     )
 
 
@@ -247,5 +251,37 @@ def mpi_put_pingpong(
     win.put(r0, 1, nbytes, on_complete=at_r1)
     world.run()
     return PingpongResult(
-        f"mpi-put:{world.params.name}", machine.name, nbytes, iterations, state["rtt"]
+        f"mpi-put:{world.params.name}", machine.name, nbytes, iterations, state["rtt"],
+        events=world.sim.events_processed,
     )
+
+
+# ---------------------------------------------------------------------------
+# Sweep-point adapter
+# ---------------------------------------------------------------------------
+
+STACKS = {
+    "charm": charm_pingpong,
+    "ckdirect": ckdirect_pingpong,
+    "mpi": mpi_pingpong,
+    "mpi-put": mpi_put_pingpong,
+}
+
+
+def pingpong_point(
+    machine: MachineParams,
+    stack: str,
+    size: int,
+    iterations: int = 200,
+    flavor: Optional[str] = None,
+) -> dict:
+    """Picklable sweep-point adapter: one pingpong measurement.
+
+    ``flavor`` only applies to the MPI stacks (it selects the
+    simulated MPI implementation's parameter set).
+    """
+    if stack not in STACKS:
+        raise ValueError(f"stack must be one of {sorted(STACKS)}, got {stack!r}")
+    kwargs = {"flavor": flavor} if stack.startswith("mpi") and flavor else {}
+    r = STACKS[stack](machine, size, iterations, **kwargs)
+    return {"rtt_us": r.rtt_us, "events": r.events}

@@ -40,6 +40,7 @@ class StencilResult:
     iterations: int
     iter_times: List[float]
     runtime: Optional[Runtime] = field(default=None, repr=False)
+    events: int = 0  # simulator events fired by the run
 
     @property
     def mean_iter_time(self) -> float:
@@ -95,7 +96,20 @@ def run_stencil(
         iterations=iterations,
         iter_times=monitor.iter_times,
         runtime=rt if keep_runtime else None,
+        events=rt.sim.events_processed,
     )
+
+
+def stencil_point(
+    machine: MachineParams, mode: str, n_pes: int, **kwargs
+) -> dict:
+    """Picklable sweep-point adapter: one stencil run → plain floats.
+
+    Used by :mod:`repro.sweep.points`; must stay a module-level
+    function so worker processes resolve it by qualified name.
+    """
+    r = run_stencil(machine, n_pes, mode=mode, **kwargs)
+    return {"mean_s": r.mean_iter_time, "events": r.events}
 
 
 def gather_grid(result: StencilResult) -> np.ndarray:

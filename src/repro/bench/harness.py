@@ -8,6 +8,15 @@ the benchmark suite asserts shapes on.
 PE counts default to a laptop-friendly subset of the paper's sweeps;
 set ``REPRO_FULL_SCALE=1`` to run the full ranges (the BG/P 4096-PE
 points take a few minutes each in pure Python).
+
+Every table/figure runner takes ``jobs=`` (default: the ``REPRO_JOBS``
+environment variable, else serial) and fans its independent simulation
+points out over a :class:`~repro.sweep.SweepRunner` worker pool.  All
+derived values (milli-second conversions, percent improvements) are
+computed here in the parent from the raw per-point means, so the
+rendered reports are byte-identical at any jobs count.  The ablations
+stay serial: they share runtime state (forced protocols, polling
+modes) whose interplay is the point of the measurement.
 """
 
 from __future__ import annotations
@@ -15,16 +24,10 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..apps.matmul import matmul_pair
-from ..apps.openatom import abe_2cpn, openatom_pair, run_openatom
-from ..apps.pingpong import (
-    charm_pingpong,
-    ckdirect_pingpong,
-    mpi_pingpong,
-    mpi_put_pingpong,
-)
-from ..apps.stencil.driver import stencil_improvement
+from ..apps.openatom import abe_2cpn, run_openatom
+from ..apps.pingpong import ckdirect_pingpong
 from ..network.params import ABE, SURVEYOR, T3, MachineParams
+from ..sweep import RunSpec, SweepRunner, machine_overrides
 from ..util.stats import percent_improvement
 from . import paper_data
 from .report import render_series, render_table
@@ -40,27 +43,49 @@ def full_scale() -> bool:
 # ---------------------------------------------------------------------------
 
 
+def _pingpong_table(
+    machine: MachineParams,
+    rows: Sequence[Tuple[str, str, Optional[str]]],
+    sizes: Sequence[int],
+    iterations: int,
+    jobs: Optional[int],
+    label: str,
+) -> Dict[str, List[float]]:
+    """Run a pingpong table's points (one per row x size) as a sweep."""
+    specs = [
+        RunSpec.make(
+            "pingpong", machine.name, stack,
+            size=s, iterations=iterations,
+            **({"flavor": flavor} if flavor else {}),
+        )
+        for (_name, stack, flavor) in rows
+        for s in sizes
+    ]
+    results = SweepRunner(jobs=jobs, label=label).run(specs)
+    n = len(sizes)
+    return {
+        name: [results[i * n + j].unwrap()["rtt_us"] for j in range(n)]
+        for i, (name, _stack, _flavor) in enumerate(rows)
+    }
+
+
 def run_table1(
-    sizes: Optional[Sequence[int]] = None, iterations: int = 100
+    sizes: Optional[Sequence[int]] = None, iterations: int = 100,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Table 1: pingpong RTT on Infiniband for all five stacks."""
     sizes = list(sizes if sizes is not None else paper_data.PINGPONG_SIZES)
-    measured = {
-        "Default CHARM++": [charm_pingpong(ABE, s, iterations).rtt_us for s in sizes],
-        "CkDirect CHARM++": [
-            ckdirect_pingpong(ABE, s, iterations).rtt_us for s in sizes
+    measured = _pingpong_table(
+        ABE,
+        [
+            ("Default CHARM++", "charm", None),
+            ("CkDirect CHARM++", "ckdirect", None),
+            ("MPICH-VMI", "mpi", "MPICH-VMI"),
+            ("MVAPICH", "mpi", "MVAPICH"),
+            ("MVAPICH-Put", "mpi-put", "MVAPICH"),
         ],
-        "MPICH-VMI": [
-            mpi_pingpong(ABE, s, iterations, flavor="MPICH-VMI").rtt_us for s in sizes
-        ],
-        "MVAPICH": [
-            mpi_pingpong(ABE, s, iterations, flavor="MVAPICH").rtt_us for s in sizes
-        ],
-        "MVAPICH-Put": [
-            mpi_put_pingpong(ABE, s, iterations, flavor="MVAPICH").rtt_us
-            for s in sizes
-        ],
-    }
+        sizes, iterations, jobs, label="table1",
+    )
     paper = paper_data.TABLE1_RTT_US if sizes == paper_data.PINGPONG_SIZES else None
     report = render_table(
         "Table 1: pingpong round-trip time, Infiniband (Abe)",
@@ -70,24 +95,21 @@ def run_table1(
 
 
 def run_table2(
-    sizes: Optional[Sequence[int]] = None, iterations: int = 100
+    sizes: Optional[Sequence[int]] = None, iterations: int = 100,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Table 2: pingpong RTT on Blue Gene/P for all four stacks."""
     sizes = list(sizes if sizes is not None else paper_data.PINGPONG_SIZES)
-    measured = {
-        "Default CHARM++": [
-            charm_pingpong(SURVEYOR, s, iterations).rtt_us for s in sizes
+    measured = _pingpong_table(
+        SURVEYOR,
+        [
+            ("Default CHARM++", "charm", None),
+            ("CkDirect CHARM++", "ckdirect", None),
+            ("MPI", "mpi", None),
+            ("MPI-Put", "mpi-put", None),
         ],
-        "CkDirect CHARM++": [
-            ckdirect_pingpong(SURVEYOR, s, iterations).rtt_us for s in sizes
-        ],
-        "MPI": [
-            mpi_pingpong(SURVEYOR, s, iterations).rtt_us for s in sizes
-        ],
-        "MPI-Put": [
-            mpi_put_pingpong(SURVEYOR, s, iterations).rtt_us for s in sizes
-        ],
-    }
+        sizes, iterations, jobs, label="table2",
+    )
     paper = paper_data.TABLE2_RTT_US if sizes == paper_data.PINGPONG_SIZES else None
     report = render_table(
         "Table 2: pingpong round-trip time, Blue Gene/P (Surveyor)",
@@ -101,17 +123,46 @@ def run_table2(
 # ---------------------------------------------------------------------------
 
 
+def _pair_sweep(
+    kind: str,
+    machine: MachineParams,
+    pes: Sequence[int],
+    jobs: Optional[int],
+    label: str,
+    **params,
+) -> Tuple[List[float], List[float], List[float]]:
+    """Run msg/ckd pairs at each PE count; return (gains, msg_ms, ckd_ms).
+
+    The gain is computed here from the raw per-point means — the exact
+    computation the serial drivers do — so the figures render
+    identically at any jobs count.
+    """
+    specs = [
+        RunSpec.make(kind, machine.name, mode, p,
+                     **params, **machine_overrides(machine))
+        for p in pes
+        for mode in ("msg", "ckd")
+    ]
+    results = SweepRunner(jobs=jobs, label=label).run(specs)
+    gains, msg_ms, ckd_ms = [], [], []
+    for i in range(len(pes)):
+        m = results[2 * i].unwrap()["mean_s"]
+        c = results[2 * i + 1].unwrap()["mean_s"]
+        gains.append(percent_improvement(m, c))
+        msg_ms.append(m * 1e3)
+        ckd_ms.append(c * 1e3)
+    return gains, msg_ms, ckd_ms
+
+
 def run_fig2a(
-    pes: Optional[Sequence[int]] = None, iterations: int = 4
+    pes: Optional[Sequence[int]] = None, iterations: int = 4,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Figure 2(a): stencil % improvement on Infiniband (T3)."""
     pes = list(pes if pes is not None else (32, 64, 128, 256))
-    gains, msg_ms, ckd_ms = [], [], []
-    for p in pes:
-        g, m, c = stencil_improvement(T3, p, iterations=iterations)
-        gains.append(g)
-        msg_ms.append(m.mean_iter_time * 1e3)
-        ckd_ms.append(c.mean_iter_time * 1e3)
+    gains, msg_ms, ckd_ms = _pair_sweep(
+        "stencil", T3, pes, jobs, "fig2a", iterations=iterations
+    )
     report = render_series(
         "Figure 2(a): Jacobi 1024x1024x512, VR 8 — Infiniband (T3)",
         "PEs", pes,
@@ -123,17 +174,15 @@ def run_fig2a(
 
 
 def run_fig2b(
-    pes: Optional[Sequence[int]] = None, iterations: int = 3
+    pes: Optional[Sequence[int]] = None, iterations: int = 3,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Figure 2(b): stencil % improvement on Blue Gene/P."""
     default = (64, 128, 256, 512, 1024, 2048, 4096) if full_scale() else (64, 128, 256, 512)
     pes = list(pes if pes is not None else default)
-    gains, msg_ms, ckd_ms = [], [], []
-    for p in pes:
-        g, m, c = stencil_improvement(SURVEYOR, p, iterations=iterations)
-        gains.append(g)
-        msg_ms.append(m.mean_iter_time * 1e3)
-        ckd_ms.append(c.mean_iter_time * 1e3)
+    gains, msg_ms, ckd_ms = _pair_sweep(
+        "stencil", SURVEYOR, pes, jobs, "fig2b", iterations=iterations
+    )
     report = render_series(
         "Figure 2(b): Jacobi 1024x1024x512, VR 8 — Blue Gene/P",
         "PEs", pes,
@@ -153,6 +202,7 @@ def run_fig3(
     machine: MachineParams,
     pes: Optional[Sequence[int]] = None,
     iterations: int = 2,
+    jobs: Optional[int] = None,
 ) -> Dict:
     """Figure 3: matmul execution time versus PE count, one machine."""
     if pes is None:
@@ -161,12 +211,10 @@ def run_fig3(
         else:
             pes = (16, 64, 256)
     pes = list(pes)
-    msg_ms, ckd_ms, gains = [], [], []
-    for p in pes:
-        m, c = matmul_pair(machine, p, iterations=iterations)
-        msg_ms.append(m.mean_iter_time * 1e3)
-        ckd_ms.append(c.mean_iter_time * 1e3)
-        gains.append(percent_improvement(m.mean_iter_time, c.mean_iter_time))
+    gains, msg_ms, ckd_ms = _pair_sweep(
+        "matmul", machine, pes, jobs, f"fig3:{machine.name}",
+        iterations=iterations,
+    )
     report = render_series(
         f"Figure 3: MatMul 2048x2048 — {machine.name}",
         "PEs", pes,
@@ -188,15 +236,15 @@ def run_openatom_figure(
     pc_only: bool,
     label: str,
     claim_key: str,
+    jobs: Optional[int] = None,
     **cfg_overrides,
 ) -> Dict:
     """Shared sweep runner for the Figure 4/5 panels."""
-    msg_ms, ckd_ms, gains = [], [], []
-    for p in pes:
-        m, c = openatom_pair(machine, p, pc_only=pc_only, **cfg_overrides)
-        msg_ms.append(m.mean_step_time * 1e3)
-        ckd_ms.append(c.mean_step_time * 1e3)
-        gains.append(percent_improvement(m.mean_step_time, c.mean_step_time))
+    gains, msg_ms, ckd_ms = _pair_sweep(
+        "openatom", machine, pes, jobs,
+        f"{claim_key}:{'pc' if pc_only else 'full'}",
+        pc_only=pc_only, **cfg_overrides,
+    )
     report = render_series(
         label, "PEs", list(pes),
         {"msg step (ms)": msg_ms, "ckd step (ms)": ckd_ms, "improvement %": gains},
@@ -206,34 +254,38 @@ def run_openatom_figure(
             "report": report}
 
 
-def run_fig4(pes: Optional[Sequence[int]] = None) -> Dict:
+def run_fig4(
+    pes: Optional[Sequence[int]] = None, jobs: Optional[int] = None
+) -> Dict:
     """Figure 4: OpenAtom step time on Abe (2 cores/node): (a) full
     application, (b) PairCalculator-only."""
     pes = list(pes if pes is not None else (16, 32, 64))
     abe2 = abe_2cpn(ABE)
     full = run_openatom_figure(
         abe2, pes, False, "Figure 4(a): OpenAtom w256M-like — Abe, full step",
-        "fig4",
+        "fig4", jobs=jobs,
     )
     pc = run_openatom_figure(
         abe2, pes, True, "Figure 4(b): OpenAtom w256M-like — Abe, PC-only",
-        "fig4",
+        "fig4", jobs=jobs,
     )
     return {"full": full, "pc_only": pc,
             "report": full["report"] + "\n\n" + pc["report"]}
 
 
-def run_fig5(pes: Optional[Sequence[int]] = None) -> Dict:
+def run_fig5(
+    pes: Optional[Sequence[int]] = None, jobs: Optional[int] = None
+) -> Dict:
     """Figure 5: OpenAtom step time on Blue Gene/P: (a) full, (b) PC-only."""
     default = (64, 128, 256, 512) if full_scale() else (64, 128, 256)
     pes = list(pes if pes is not None else default)
     full = run_openatom_figure(
         SURVEYOR, pes, False, "Figure 5(a): OpenAtom w256M-like — BG/P, full step",
-        "fig5",
+        "fig5", jobs=jobs,
     )
     pc = run_openatom_figure(
         SURVEYOR, pes, True, "Figure 5(b): OpenAtom w256M-like — BG/P, PC-only",
-        "fig5",
+        "fig5", jobs=jobs,
     )
     return {"full": full, "pc_only": pc,
             "report": full["report"] + "\n\n" + pc["report"]}

@@ -16,6 +16,10 @@ terminal, without writing a driver script::
 the Projections event log and written as Chrome trace-event JSON
 (open in Perfetto / chrome://tracing; one process per simulated
 runtime, one thread per PE).
+
+``--jobs N`` (or ``REPRO_JOBS=N``) fans each artifact's independent
+sweep points out over N worker processes; reports are byte-identical
+to a serial run, so it is purely a wall-clock knob.
 """
 
 from __future__ import annotations
@@ -85,6 +89,10 @@ def _parser() -> argparse.ArgumentParser:
                         "trace-event JSON (works with every artifact)")
     p.add_argument("--full-scale", action="store_true",
                    help="run the paper's full PE ranges (slow)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="run sweep points over N worker processes "
+                        "(default: $REPRO_JOBS, else serial; output is "
+                        "identical at any N)")
     return p
 
 
@@ -127,8 +135,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.iterations is not None and args.iterations < 1:
         parser.error(f"--iterations must be at least 1, got {args.iterations}")
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be at least 1, got {args.jobs}")
     if args.full_scale:
         os.environ["REPRO_FULL_SCALE"] = "1"
+    if args.jobs is not None:
+        # Sweeps resolve their pool size from REPRO_JOBS, so one flag
+        # covers every artifact (including the ones run indirectly).
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.artifact == "list":
         width = max(len(k) for k in ARTIFACTS)

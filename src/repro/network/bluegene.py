@@ -105,7 +105,7 @@ class BGPFabric(Fabric):
         self.trace.count("net.transfers")
         self.trace.count("net.bytes", wire_bytes)
         self.trace.count("bgp.link_routed")
-        self.sim.at(delivery, cb)
+        self._schedule_delivery(delivery, cb)
         return delivery
 
     @property

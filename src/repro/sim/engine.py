@@ -17,14 +17,37 @@ Design notes
   callbacks.  The message-driven programming model of Charm++ maps
   naturally onto callbacks, so a process abstraction would only add
   overhead and non-determinism risk.
+
+Hot-path structure
+------------------
+A figure sweep fires tens of millions of events, so the constant cost
+per event is first-order for wall-clock time (see
+``benchmarks/test_engine_micro.py``):
+
+* heap entries are plain ``(time, priority, seq, event)`` tuples —
+  sift comparisons are C tuple comparisons, never
+  :meth:`Event.__lt__` dispatch (``seq`` is unique, so the trailing
+  event object is never compared);
+* :meth:`run` binds the heap and ``heappop`` to locals and has a
+  dedicated no-``until``/no-``max_events`` loop (the common case) with
+  a no-kwargs callback fast path;
+* cancelled events are counted exactly (:attr:`pending_active`) and
+  compacted *lazily*: the heap is rebuilt only when cancelled entries
+  dominate it, so workloads that rarely cancel never pay for it;
+* :meth:`schedule_batch` admits a burst of callbacks in one call —
+  used by the fabric layer for multi-put/multi-packet send bursts.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from .event import Event
+
+#: Lazy-compaction trigger: rebuild the heap when more than this many
+#: cancelled events are heaped *and* they outnumber live entries.
+_COMPACT_MIN = 64
 
 
 class SimulationError(RuntimeError):
@@ -49,10 +72,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: list[Event] = []
+        # Heap of (time, priority, seq, Event) tuples; see module doc.
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq: int = 0
         self._running: bool = False
         self._events_processed: int = 0
+        self._cancelled_in_heap: int = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -72,6 +97,11 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still on the heap (including cancelled ones)."""
         return len(self._heap)
+
+    @property
+    def pending_active(self) -> int:
+        """Number of *live* (non-cancelled) events still on the heap."""
+        return len(self._heap) - self._cancelled_in_heap
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -108,10 +138,76 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: t={time!r} < now={self._now!r}"
             )
-        ev = Event(time, priority, self._seq, fn, args, kwargs)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, priority, seq, fn, args, kwargs, self)
+        heapq.heappush(self._heap, (time, priority, seq, ev))
         return ev
+
+    def schedule_batch(
+        self,
+        entries: Iterable[Tuple[float, Callable[..., Any], tuple]],
+        priority: int = 0,
+    ) -> List[Event]:
+        """Schedule a burst of ``(time, fn, args)`` callbacks in one call.
+
+        ``time`` is absolute, as in :meth:`at`.  Sequence numbers are
+        assigned in iteration order, so ties fire exactly as if each
+        entry had been scheduled by an individual :meth:`at` call.  For
+        bursts that rival the heap in size the whole heap is rebuilt
+        with one O(n) ``heapify`` instead of k O(log n) sifts; either
+        way the per-entry Python overhead (argument processing, kwargs
+        dict handling) of repeated :meth:`at` calls is skipped.  Used
+        by the fabrics for multi-put / multi-packet send bursts.
+        """
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        events: List[Event] = []
+        batch: List[Tuple[float, int, int, Event]] = []
+        for time, fn, args in entries:
+            if time < now:
+                raise SimulationError(
+                    f"cannot schedule in the past: t={time!r} < now={now!r}"
+                )
+            ev = Event(time, priority, seq, fn, args, None, self)
+            batch.append((time, priority, seq, ev))
+            events.append(ev)
+            seq += 1
+        self._seq = seq
+        if len(batch) * 8 > len(heap):
+            heap.extend(batch)
+            heapq.heapify(heap)
+        else:
+            push = heapq.heappush
+            for entry in batch:
+                push(heap, entry)
+        return events
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting
+    # ------------------------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` while the event is heaped."""
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > _COMPACT_MIN
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and rebuild the heap (O(n)).
+
+        Dropped events are already ``_cancelled``, so a late
+        ``cancel()`` on one of them stays a no-op — no flag updates
+        are needed on the removed entries.
+        """
+        live = [entry for entry in self._heap if not entry[3]._cancelled]
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -119,13 +215,19 @@ class Simulator:
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False if the heap is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[3]
+            ev._popped = True
+            if ev._cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = ev.time
             self._events_processed += 1
-            ev.fire()
+            if ev.kwargs is None:
+                ev.fn(*ev.args)
+            else:
+                ev.fn(*ev.args, **ev.kwargs)
             return True
         return False
 
@@ -144,31 +246,56 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         fired = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
+            if until is None and max_events is None:
+                # Fast path: the common run-to-completion case.
+                while heap:
+                    time, _, _, ev = pop(heap)
+                    ev._popped = True
+                    if ev._cancelled:
+                        self._cancelled_in_heap -= 1
+                        continue
+                    self._now = time
+                    fired += 1
+                    kw = ev.kwargs
+                    if kw is None:
+                        ev.fn(*ev.args)
+                    else:
+                        ev.fn(*ev.args, **kw)
+                return
+            while heap:
                 if max_events is not None and fired >= max_events:
                     return
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
+                entry = heap[0]
+                ev = entry[3]
+                if ev._cancelled:
+                    pop(heap)
+                    ev._popped = True
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and nxt.time > until:
+                if until is not None and entry[0] > until:
                     self._now = until
                     return
-                heapq.heappop(self._heap)
-                self._now = nxt.time
-                self._events_processed += 1
-                nxt.fire()
+                pop(heap)
+                ev._popped = True
+                self._now = entry[0]
                 fired += 1
+                if ev.kwargs is None:
+                    ev.fn(*ev.args)
+                else:
+                    ev.fn(*ev.args, **ev.kwargs)
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._events_processed += fired
             self._running = False
 
     def drain(self, max_events: int = 50_000_000) -> None:
         """Run to completion, guarding against runaway event loops."""
         self.run(max_events=max_events)
-        if self._heap and any(not e.cancelled for e in self._heap):
+        if self.pending_active:
             raise SimulationError(
                 f"simulation did not converge within {max_events} events"
             )

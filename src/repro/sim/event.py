@@ -6,11 +6,24 @@ sequence number assigned by the :class:`~repro.sim.engine.Simulator`.
 Breaking time ties by sequence number makes every simulation run fully
 deterministic: two events scheduled for the same instant always fire in
 the order they were scheduled.
+
+Hot-path note
+-------------
+The simulator's heap stores plain ``(time, priority, seq, event)``
+tuples, not the events themselves, so heap sift comparisons run as
+C-level tuple comparisons instead of dispatching :meth:`Event.__lt__`
+per probe.  ``seq`` is unique, so two heap entries never compare equal
+through the first three fields and the trailing ``Event`` is never
+compared.  :meth:`__lt__` is kept for direct ``Event`` comparisons in
+user/test code.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Simulator
 
 
 class Event:
@@ -32,7 +45,10 @@ class Event:
         Tie-breaking sequence number; assigned by the simulator.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "kwargs", "_cancelled")
+    __slots__ = (
+        "time", "priority", "seq", "fn", "args", "kwargs",
+        "_cancelled", "_popped", "_sim",
+    )
 
     def __init__(
         self,
@@ -42,14 +58,19 @@ class Event:
         fn: Callable[..., Any],
         args: tuple,
         kwargs: Optional[dict],
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.priority = priority
         self.seq = seq
         self.fn = fn
         self.args = args
-        self.kwargs = kwargs or {}
+        # None (not {}) when there are no kwargs: lets the engine's run
+        # loop skip the ``**`` unpacking entirely on the common path.
+        self.kwargs = kwargs if kwargs else None
         self._cancelled = False
+        self._popped = False  # True once removed from the heap
+        self._sim = sim
 
     # Ordering ---------------------------------------------------------
 
@@ -65,9 +86,16 @@ class Event:
     def cancel(self) -> None:
         """Mark the event so it is skipped when popped from the heap.
 
-        Cancelling an already-fired event is a harmless no-op.
+        Cancelling an already-fired event is a harmless no-op.  The
+        owning simulator is notified so it can keep an exact count of
+        cancelled-but-still-heaped events (for ``pending_active`` and
+        lazy heap compaction).
         """
+        if self._cancelled:
+            return
         self._cancelled = True
+        if not self._popped and self._sim is not None:
+            self._sim._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -77,7 +105,10 @@ class Event:
     def fire(self) -> None:
         """Invoke the callback unless cancelled."""
         if not self._cancelled:
-            self.fn(*self.args, **self.kwargs)
+            if self.kwargs is None:
+                self.fn(*self.args)
+            else:
+                self.fn(*self.args, **self.kwargs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.fn, "__qualname__", repr(self.fn))

@@ -1,0 +1,40 @@
+"""Parallel sweep execution for the benchmark artifacts.
+
+The paper's tables and figures are *sweeps*: sets of independent
+simulation points (one per machine/stack/size/PE-count combination)
+merged into one report.  This package runs those points through a
+:class:`SweepRunner` that can fan them out over a ``multiprocessing``
+worker pool (``--jobs N`` / ``REPRO_JOBS``) while keeping the output
+byte-identical to a serial run.
+
+Layered as:
+
+* :mod:`~repro.sweep.spec`   — picklable :class:`RunSpec` / :class:`RunResult`,
+* :mod:`~repro.sweep.points` — the kind → point-function registry,
+* :mod:`~repro.sweep.runner` — the pool, crash isolation, trace merge,
+* :mod:`~repro.sweep.stats`  — per-sweep timing records for the bench
+  trajectory (``BENCH_sweeps.json``).
+"""
+
+from . import stats
+from .points import POINTS, point_function, register_point
+from .runner import DEFAULT_TIMEOUT, SweepRunner, execute_spec, resolve_jobs, run_sweep
+from .spec import RunResult, RunSpec, SweepError, machine_overrides
+from .stats import SweepRecord
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "POINTS",
+    "RunResult",
+    "RunSpec",
+    "SweepError",
+    "SweepRecord",
+    "SweepRunner",
+    "execute_spec",
+    "machine_overrides",
+    "point_function",
+    "register_point",
+    "resolve_jobs",
+    "run_sweep",
+    "stats",
+]

@@ -1,0 +1,92 @@
+"""The sweep-point registry: spec kind → runnable function.
+
+Every entry maps a :attr:`RunSpec.kind` to a module-level function
+``(spec) -> dict`` that runs one simulation point and returns plain
+picklable values.  Worker processes resolve the function from this
+registry *after* import, so points run identically in-process (serial
+path) and in a forked/spawned worker (parallel path) — the property
+the jobs-count determinism guarantee rests on.
+
+The app-specific adapters live next to their drivers
+(:func:`repro.apps.pingpong.pingpong_point`,
+:func:`repro.apps.stencil.driver.stencil_point`,
+:func:`repro.apps.matmul.driver.matmul_point`,
+:func:`repro.apps.openatom.driver.openatom_point`); this module only
+translates specs into their keyword form.
+
+By convention a point's returned dict may carry an ``"events"`` key
+(simulator events fired); the runner pops it into
+:attr:`RunResult.events` for the bench trajectory's events/sec
+accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from .spec import RunSpec, SweepError
+
+PointFn = Callable[[RunSpec], Dict[str, Any]]
+
+POINTS: Dict[str, PointFn] = {}
+
+
+def register_point(kind: str, fn: PointFn = None):
+    """Register ``fn`` to run specs of ``kind`` (usable as decorator)."""
+    def _install(f: PointFn) -> PointFn:
+        POINTS[kind] = f
+        return f
+    return _install(fn) if fn is not None else _install
+
+
+def point_function(kind: str) -> PointFn:
+    """Look up the registered function for a spec kind."""
+    try:
+        return POINTS[kind]
+    except KeyError:
+        raise SweepError(
+            f"no sweep point registered for kind {kind!r} "
+            f"(known: {sorted(POINTS)})"
+        ) from None
+
+
+def _app_kwargs(spec: RunSpec) -> Dict[str, Any]:
+    """Spec params minus the machine-override key the drivers don't take."""
+    kw = spec.kwargs
+    kw.pop("cores_per_node", None)
+    return kw
+
+
+@register_point("pingpong")
+def _pingpong(spec: RunSpec) -> Dict[str, Any]:
+    from ..apps.pingpong import pingpong_point
+
+    kw = _app_kwargs(spec)
+    return pingpong_point(spec.resolve_machine(), stack=spec.mode, **kw)
+
+
+@register_point("stencil")
+def _stencil(spec: RunSpec) -> Dict[str, Any]:
+    from ..apps.stencil.driver import stencil_point
+
+    return stencil_point(
+        spec.resolve_machine(), mode=spec.mode, n_pes=spec.n_pes, **_app_kwargs(spec)
+    )
+
+
+@register_point("matmul")
+def _matmul(spec: RunSpec) -> Dict[str, Any]:
+    from ..apps.matmul.driver import matmul_point
+
+    return matmul_point(
+        spec.resolve_machine(), mode=spec.mode, n_pes=spec.n_pes, **_app_kwargs(spec)
+    )
+
+
+@register_point("openatom")
+def _openatom(spec: RunSpec) -> Dict[str, Any]:
+    from ..apps.openatom.driver import openatom_point
+
+    return openatom_point(
+        spec.resolve_machine(), mode=spec.mode, n_pes=spec.n_pes, **_app_kwargs(spec)
+    )

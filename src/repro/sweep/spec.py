@@ -1,0 +1,138 @@
+"""Picklable sweep-point descriptions and results.
+
+A *sweep* is a set of independent simulation runs — one per
+``(kind, machine, mode, n_pes, params)`` point — whose results are
+assembled into one table or figure.  :class:`RunSpec` describes one
+point in a form that
+
+* **pickles** cheaply (strings/ints/tuples only, no ``MachineParams``
+  or runtime objects), so it can cross a process boundary to a worker;
+* **hashes and orders** deterministically (:attr:`RunSpec.key`), so
+  sweep results are always merged by spec key, never by completion
+  order — the invariant that makes ``--jobs N`` output byte-identical
+  to a serial run.
+
+:class:`RunResult` is the worker's reply: plain values plus error /
+timing / trace payloads.  A failed point carries its traceback in
+``error``; :meth:`RunResult.unwrap` re-raises it in the parent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..network.params import MACHINES, MachineParams
+
+
+class SweepError(RuntimeError):
+    """Raised for sweep misuse or failed sweep points."""
+
+
+@dataclass(frozen=True, order=True)
+class RunSpec:
+    """One independent point of a sweep.
+
+    ``params`` is a sorted tuple of ``(key, value)`` pairs so the spec
+    stays hashable, comparable, and picklable; build specs with
+    :meth:`make` to get the normalization for free.
+    """
+
+    kind: str        # registered point-function name (see sweep.points)
+    machine: str     # machine preset name (a MACHINES key)
+    mode: str        # stack / app variant ("msg", "ckd", "charm", ...)
+    n_pes: int       # PE count (0 where the point fixes it itself)
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, kind: str, machine: str, mode: str = "", n_pes: int = 0, **params: Any
+    ) -> "RunSpec":
+        """Build a spec, normalizing keyword params into sorted pairs."""
+        return cls(kind, machine, mode, n_pes, tuple(sorted(params.items())))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        """The params as a keyword dict."""
+        return dict(self.params)
+
+    @property
+    def key(self) -> tuple:
+        """The deterministic merge key (the full identifying tuple)."""
+        return (self.kind, self.machine, self.mode, self.n_pes, self.params)
+
+    def label(self) -> str:
+        """Compact human-readable form for progress/error messages."""
+        parts = [self.kind, self.machine]
+        if self.mode:
+            parts.append(self.mode)
+        if self.n_pes:
+            parts.append(f"p{self.n_pes}")
+        return "/".join(parts)
+
+    def resolve_machine(self) -> MachineParams:
+        """Reconstruct the MachineParams this point runs on.
+
+        The preset is looked up by name; a ``cores_per_node`` param
+        (see :func:`machine_overrides`) is applied on top — the only
+        machine variation the paper's experiments use (Abe at 2
+        cores/node for the OpenAtom runs).
+        """
+        try:
+            machine = MACHINES[self.machine]
+        except KeyError:
+            raise SweepError(f"unknown machine preset {self.machine!r}") from None
+        cpn = self.kwargs.get("cores_per_node")
+        if cpn is not None and cpn != machine.cores_per_node:
+            machine = dataclasses.replace(machine, cores_per_node=int(cpn))
+        return machine
+
+
+def machine_overrides(machine: MachineParams) -> Dict[str, Any]:
+    """Express a MachineParams as spec params on top of its preset.
+
+    Returns ``{}`` when ``machine`` *is* its preset, or
+    ``{"cores_per_node": n}`` for the paper's cores-per-node variants.
+    Anything else cannot cross a process boundary by name and is
+    rejected.
+    """
+    base = MACHINES.get(machine.name)
+    if base is None:
+        raise SweepError(
+            f"machine {machine.name!r} is not a registered preset; "
+            "sweep specs carry machines by preset name"
+        )
+    if machine == base:
+        return {}
+    if dataclasses.replace(base, cores_per_node=machine.cores_per_node) == machine:
+        return {"cores_per_node": machine.cores_per_node}
+    raise SweepError(
+        f"machine {machine.name!r} differs from its preset beyond "
+        "cores_per_node and cannot be shipped to sweep workers"
+    )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one sweep point (success or isolated failure)."""
+
+    spec: RunSpec
+    ok: bool
+    values: Dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+    wall_time: float = 0.0   # worker-side wall-clock seconds
+    events: int = 0          # simulator events fired by the point
+    #: per-point trace payload (parallel tracing runs only): serialized
+    #: TraceEvent tuples + (label, n_pes) run registrations, merged
+    #: into the parent's EventLog by the runner.
+    trace_events: List[tuple] = field(default_factory=list)
+    trace_runs: List[Tuple[str, int]] = field(default_factory=list)
+
+    def unwrap(self) -> Dict[str, Any]:
+        """The point's values, or raise the point's failure here."""
+        if not self.ok:
+            raise SweepError(
+                f"sweep point {self.spec.label()} failed:\n{self.error}"
+            )
+        return self.values

@@ -1,0 +1,51 @@
+"""Sweep execution statistics — the bench trajectory's data source.
+
+Every :meth:`SweepRunner.run` appends one :class:`SweepRecord` here
+(label, jobs, wall-clock, simulator events).  The benchmark suite's
+``--bench-json`` hook drains the records at session end into
+``BENCH_sweeps.json`` so future PRs can compare wall-clock, events/sec,
+and parallel speedup against this baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+
+@dataclass
+class SweepRecord:
+    """Timing record of one executed sweep."""
+
+    label: str     # e.g. "fig3:Surveyor"
+    jobs: int      # worker-pool size actually used (1 = serial)
+    points: int    # sweep points executed
+    failed: int    # points that errored or timed out
+    wall_s: float  # parent-side wall-clock for the whole sweep
+    events: int    # total simulator events across all points
+
+    @property
+    def events_per_s(self) -> float:
+        """Aggregate simulated-event throughput of the sweep."""
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self) -> Dict:
+        d = asdict(self)
+        d["events_per_s"] = round(self.events_per_s, 1)
+        return d
+
+
+#: Records of every sweep executed by this process, in execution order.
+RECORDS: List[SweepRecord] = []
+
+
+def record(rec: SweepRecord) -> None:
+    """Append one sweep's timing record."""
+    RECORDS.append(rec)
+
+
+def drain() -> List[Dict]:
+    """Return all records as dicts and clear the register."""
+    out = [r.to_dict() for r in RECORDS]
+    RECORDS.clear()
+    return out

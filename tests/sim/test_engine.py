@@ -177,3 +177,132 @@ def test_determinism_across_runs():
         return order
 
     assert run_once() == run_once()
+
+
+# ---------------------------------------------------------------------------
+# Hot-path optimization: pending_active, schedule_batch, lazy compaction
+# ---------------------------------------------------------------------------
+
+
+def test_pending_active_excludes_cancelled():
+    sim = Simulator()
+    evs = [sim.schedule(i * 1e-6, lambda: None) for i in range(1, 6)]
+    assert sim.pending == 5
+    assert sim.pending_active == 5
+    evs[0].cancel()
+    evs[3].cancel()
+    assert sim.pending == 5          # heap still holds the tombstones
+    assert sim.pending_active == 3
+    sim.run()
+    assert sim.pending_active == 0
+    assert sim.events_processed == 3
+
+
+def test_double_cancel_counts_once():
+    sim = Simulator()
+    ev = sim.schedule(1e-6, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert sim.pending_active == 0
+    sim.run()
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    box = []
+
+    def fire_and_keep():
+        box.append(sim.schedule(1e-6, box.append, "late"))
+
+    sim.schedule(1e-6, fire_and_keep)
+    sim.run()
+    assert box[-1] == "late"
+    # cancelling the already-fired event must not disturb accounting
+    box[0].cancel()
+    assert sim.pending_active == 0
+    sim.schedule(1e-6, lambda: None)
+    assert sim.pending_active == 1
+
+
+def test_drain_ignores_cancelled_leftovers():
+    sim = Simulator()
+    keep = sim.schedule(1e-6, lambda: None)
+    dead = sim.schedule(2e-6, lambda: None)
+    dead.cancel()
+    sim.drain()  # must not raise: only a cancelled tombstone remains
+    assert sim.events_processed == 1
+    assert keep.cancelled is False
+
+
+def test_schedule_batch_orders_like_individual_at():
+    def run(batched: bool):
+        sim = Simulator()
+        order = []
+        entries = [(3e-6, order.append, ("c",)),
+                   (1e-6, order.append, ("a",)),
+                   (2e-6, order.append, ("b",)),
+                   (1e-6, order.append, ("a2",))]
+        if batched:
+            sim.schedule_batch(entries)
+        else:
+            for t, fn, args in entries:
+                sim.at(t, fn, *args)
+        sim.run()
+        return order
+
+    assert run(True) == run(False) == ["a", "a2", "b", "c"]
+
+
+def test_schedule_batch_ties_follow_issue_order():
+    sim = Simulator()
+    order = []
+    sim.at(1e-6, order.append, "pre")
+    sim.schedule_batch([(1e-6, order.append, (f"b{i}",)) for i in range(5)])
+    sim.at(1e-6, order.append, "post")
+    sim.run()
+    assert order == ["pre", "b0", "b1", "b2", "b3", "b4", "post"]
+
+
+def test_schedule_batch_rejects_past_times():
+    sim = Simulator()
+    sim.schedule(1e-6, lambda: None)
+    sim.run()
+    assert sim.now == 1e-6
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([(0.5e-6, lambda: None, ())])
+
+
+def test_schedule_batch_large_heapify_path():
+    # A batch much larger than the resident heap takes the heapify branch.
+    sim = Simulator()
+    sim.schedule(1e-3, lambda: None)
+    order = []
+    n = 200
+    sim.schedule_batch([((n - i) * 1e-6, order.append, (n - i,)) for i in range(n)])
+    sim.run()
+    assert order == sorted(order)
+    assert sim.events_processed == n + 1
+
+
+def test_lazy_compaction_shrinks_heap():
+    sim = Simulator()
+    far = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(300)]
+    for ev in far:
+        ev.cancel()
+    # The compaction threshold has passed: tombstones were dropped.
+    assert sim.pending < 300
+    assert sim.pending_active == 0
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_compaction_preserves_live_events():
+    sim = Simulator()
+    fired = []
+    live = [sim.schedule((i + 1) * 1e-6, fired.append, i) for i in range(50)]
+    dead = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(400)]
+    for ev in dead:
+        ev.cancel()
+    assert sim.pending_active == len(live)
+    sim.run()
+    assert fired == list(range(50))

@@ -1,0 +1,45 @@
+"""Regression: sweep output is byte-identical at any jobs count.
+
+This is the contract the whole parallel subsystem rests on: ``--jobs``
+is a wall-clock knob only.  The test renders a real artifact (a
+reduced Table 1 — five stacks, two sizes, real simulator runs) twice
+and compares the *rendered report strings byte for byte*, plus the
+raw floats exactly (no tolerance).
+"""
+
+from repro.bench.harness import run_fig2a, run_table1
+from repro.sweep import RunSpec, SweepRunner
+
+
+def test_table1_jobs4_byte_identical_to_serial():
+    serial = run_table1(sizes=[1000, 4000], iterations=5, jobs=1)
+    parallel = run_table1(sizes=[1000, 4000], iterations=5, jobs=4)
+    assert parallel["report"] == serial["report"]
+    assert parallel["measured"] == serial["measured"]  # exact float equality
+
+
+def test_fig2a_jobs4_byte_identical_to_serial():
+    serial = run_fig2a(pes=[8, 16], iterations=2, jobs=1)
+    parallel = run_fig2a(pes=[8, 16], iterations=2, jobs=4)
+    assert parallel["report"] == serial["report"]
+    assert parallel["gains"] == serial["gains"]
+    assert parallel["msg_ms"] == serial["msg_ms"]
+    assert parallel["ckd_ms"] == serial["ckd_ms"]
+
+
+def test_env_jobs_matches_explicit(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    via_env = run_table1(sizes=[1000], iterations=5)
+    monkeypatch.delenv("REPRO_JOBS")
+    serial = run_table1(sizes=[1000], iterations=5)
+    assert via_env["report"] == serial["report"]
+
+
+def test_repeated_parallel_runs_identical():
+    specs = [
+        RunSpec.make("pingpong", "Surveyor", "ckdirect", size=s, iterations=5)
+        for s in (1000, 2000, 4000)
+    ]
+    a = [r.unwrap() for r in SweepRunner(jobs=3).run(specs)]
+    b = [r.unwrap() for r in SweepRunner(jobs=3).run(specs)]
+    assert a == b

@@ -1,0 +1,100 @@
+"""RunSpec / RunResult / machine_overrides contracts."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.apps.openatom import abe_2cpn
+from repro.network.params import ABE, MACHINES, SURVEYOR
+from repro.sweep import RunResult, RunSpec, SweepError, machine_overrides
+
+
+class TestRunSpec:
+    def test_make_normalizes_param_order(self):
+        a = RunSpec.make("pingpong", "Abe", "charm", size=1000, iterations=5)
+        b = RunSpec.make("pingpong", "Abe", "charm", iterations=5, size=1000)
+        assert a == b
+        assert a.key == b.key
+        assert hash(a) == hash(b)
+
+    def test_kwargs_round_trip(self):
+        s = RunSpec.make("stencil", "T3", "ckd", 64, iterations=3, vr=8)
+        assert s.kwargs == {"iterations": 3, "vr": 8}
+
+    def test_specs_order_deterministically(self):
+        specs = [
+            RunSpec.make("pingpong", "Abe", "mpi", size=4000),
+            RunSpec.make("pingpong", "Abe", "charm", size=1000),
+            RunSpec.make("matmul", "Surveyor", "ckd", 64),
+        ]
+        assert sorted(specs) == sorted(reversed(specs))
+
+    def test_pickle_round_trip(self):
+        s = RunSpec.make("openatom", "Abe", "ckd", 16,
+                         pc_only=True, cores_per_node=2)
+        assert pickle.loads(pickle.dumps(s)) == s
+
+    def test_label_is_compact(self):
+        s = RunSpec.make("stencil", "T3", "msg", 128, iterations=4)
+        assert s.label() == "stencil/T3/msg/p128"
+
+    def test_resolve_machine_preset(self):
+        s = RunSpec.make("pingpong", "Abe", "charm", size=100)
+        assert s.resolve_machine() is MACHINES["Abe"]
+
+    def test_resolve_machine_with_cores_override(self):
+        s = RunSpec.make("openatom", "Abe", "ckd", 16, cores_per_node=2)
+        m = s.resolve_machine()
+        assert m.cores_per_node == 2
+        assert dataclasses.replace(m, cores_per_node=ABE.cores_per_node) == ABE
+
+    def test_resolve_unknown_machine_raises(self):
+        with pytest.raises(SweepError, match="unknown machine"):
+            RunSpec.make("pingpong", "NoSuchMachine", "charm").resolve_machine()
+
+
+class TestMachineOverrides:
+    def test_preset_needs_no_overrides(self):
+        assert machine_overrides(SURVEYOR) == {}
+
+    def test_cores_per_node_variant(self):
+        abe2 = abe_2cpn(ABE)
+        ov = machine_overrides(abe2)
+        assert ov == {"cores_per_node": 2}
+        # and the override reconstructs the same machine in a worker
+        s = RunSpec.make("openatom", abe2.name, "ckd", 16, **ov)
+        assert s.resolve_machine() == abe2
+
+    def test_unregistered_machine_rejected(self):
+        rogue = dataclasses.replace(ABE, name="NotAPreset")
+        with pytest.raises(SweepError, match="not a registered preset"):
+            machine_overrides(rogue)
+
+    def test_deep_variant_rejected(self):
+        tweaked = dataclasses.replace(ABE, default_mpi="MPICH-VMI")
+        with pytest.raises(SweepError, match="beyond"):
+            machine_overrides(tweaked)
+
+
+class TestRunResult:
+    def test_unwrap_success(self):
+        spec = RunSpec.make("pingpong", "Abe", "charm", size=100)
+        r = RunResult(spec, ok=True, values={"rtt_us": 1.5})
+        assert r.unwrap() == {"rtt_us": 1.5}
+
+    def test_unwrap_failure_carries_worker_traceback(self):
+        spec = RunSpec.make("pingpong", "Abe", "charm", size=100)
+        r = RunResult(spec, ok=False, error="Traceback ...\nValueError: boom")
+        with pytest.raises(SweepError, match="boom"):
+            r.unwrap()
+
+    def test_pickle_round_trip(self):
+        spec = RunSpec.make("stencil", "T3", "ckd", 8, iterations=2)
+        r = RunResult(spec, ok=True, values={"mean_s": 0.25}, events=100,
+                      trace_events=[(0, "span", 0, 1, "entry", "e", 0.0, 1.0,
+                                     None, None)],
+                      trace_runs=[("run0", 8)])
+        r2 = pickle.loads(pickle.dumps(r))
+        assert r2.spec == spec and r2.values == r.values
+        assert r2.trace_events == r.trace_events
