@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple, Type
 import numpy as np
 
 from ...charm import Runtime
+from ...faults import FaultPlan
 from ...network.params import MachineParams
 from ..stencil.base import IterationMonitor
 from .base import MatMulBase
@@ -58,14 +59,21 @@ def run_matmul(
     validate: bool = False,
     seed: int = 20090923,
     keep_runtime: bool = False,
+    faults: Optional[str] = None,
+    fault_seed: int = 0x0FA11,
 ) -> MatMulResult:
-    """One matmul run on ``n_pes`` PEs with a ``c^3`` chare grid."""
+    """One matmul run on ``n_pes`` PEs with a ``c^3`` chare grid.
+
+    ``faults`` names a built-in fault profile: the run then executes on
+    an imperfect fabric with the CkDirect reliability layer armed.
+    """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}, got {mode!r}")
     cls: Type[MatMulBase] = MODES[mode]
     side = c if c is not None else choose_side(N, n_pes)
     spec = MatMulSpec(N, side)
-    rt = Runtime(machine, n_pes)
+    plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
+    rt = Runtime(machine, n_pes, fault_plan=plan)
     monitor = IterationMonitor(rt, None, iterations)
     arr = rt.create_array(
         cls,

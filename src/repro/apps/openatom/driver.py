@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ...charm import CkCallback, Runtime
+from ...faults import FaultPlan
 from ...network.params import MachineParams
 from .config import OpenAtomConfig
 from .gspace import GSpaceBase
@@ -91,9 +92,15 @@ def run_openatom(
     cfg: Optional[OpenAtomConfig] = None,
     mode: str = "msg",
     keep_runtime: bool = False,
+    faults: Optional[str] = None,
+    fault_seed: int = 0x0FA11,
     **cfg_overrides,
 ) -> OpenAtomResult:
-    """One OpenAtom mini-app run."""
+    """One OpenAtom mini-app run.
+
+    ``faults`` names a built-in fault profile: the run then executes on
+    an imperfect fabric with the CkDirect reliability layer armed.
+    """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}, got {mode!r}")
     if cfg is None:
@@ -101,7 +108,8 @@ def run_openatom(
     elif cfg_overrides:
         cfg = dataclasses.replace(cfg, **cfg_overrides)
     gs_cls, pc_cls = MODES[mode]
-    rt = Runtime(machine, n_pes)
+    plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
+    rt = Runtime(machine, n_pes, fault_plan=plan)
     monitor = OpenAtomMonitor(rt, cfg.iterations)
     gs = rt.create_array(
         gs_cls, dims=(cfg.nstates, cfg.nplanes), ctor_args=(cfg, monitor)

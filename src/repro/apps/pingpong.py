@@ -167,14 +167,21 @@ def ckdirect_pingpong(
     nbytes: int,
     iterations: int = 200,
     real_buffers: bool = False,
+    faults: Optional[str] = None,
+    fault_seed: int = 0x0FA11,
 ) -> PingpongResult:
     """CkDirect pingpong across two nodes.
 
     With ``real_buffers=True`` actual numpy data crosses the channels
     and the out-of-band sentinel mechanics run for real (used by the
-    validation tests; timing is identical either way).
+    validation tests; timing is identical either way).  ``faults``
+    names a built-in fault profile: puts then run over an imperfect
+    fabric with the reliability layer armed.
     """
-    rt = Runtime(machine, n_pes=2 * machine.cores_per_node)
+    from ..faults import FaultPlan
+
+    plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
+    rt = Runtime(machine, n_pes=2 * machine.cores_per_node, fault_plan=plan)
     arr = rt.create_array(
         _CkdPinger,
         dims=(2,),

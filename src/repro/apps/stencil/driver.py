@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple, Type
 import numpy as np
 
 from ...charm import Runtime
+from ...faults import FaultPlan
 from ...network.params import MachineParams
 from ...util.stats import percent_improvement
 from .base import IterationMonitor, JacobiBase
@@ -60,14 +61,22 @@ def run_stencil(
     validate: bool = False,
     seed: int = 20090922,
     keep_runtime: bool = False,
+    faults: Optional[str] = None,
+    fault_seed: int = 0x0FA11,
 ) -> StencilResult:
-    """One stencil run.  ``vr`` chares per PE, near-cubic blocks."""
+    """One stencil run.  ``vr`` chares per PE, near-cubic blocks.
+
+    ``faults`` names a built-in fault profile (``drop``,
+    ``torn-sentinel``, ...): the run then executes on an imperfect
+    fabric with the CkDirect reliability layer armed.
+    """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}, got {mode!r}")
     cls: Type[JacobiBase] = MODES[mode]
     n_chares = n_pes * vr
     grid = choose_grid(domain, n_chares)
-    rt = Runtime(machine, n_pes)
+    plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
+    rt = Runtime(machine, n_pes, fault_plan=plan)
     monitor_box: list = []
 
     # The monitor needs the proxy, the array ctor needs the monitor:

@@ -14,6 +14,7 @@ the paper's printed numbers and textual claims.
 """
 
 from . import paper_data, shapes
+from .chaos import run_chaos
 from .export import export_series_csv, export_table_csv
 from .harness import (
     full_scale,
@@ -39,6 +40,7 @@ from .report import (
 from .shapes import ShapeError
 
 __all__ = [
+    "run_chaos",
     "run_table1",
     "run_table2",
     "run_fig2a",

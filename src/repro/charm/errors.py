@@ -24,3 +24,34 @@ class ReductionError(CharmError):
 class ContextError(CharmError):
     """Raised when an operation requiring a PE execution context is
     attempted from host code (or vice versa)."""
+
+
+class CkDirectError(CharmError):
+    """Base class for CkDirect misuse (channel API contract violations)."""
+
+
+class ChannelStateError(CkDirectError):
+    """An operation was attempted in a channel state that forbids it
+    (e.g. ``ready_poll_q`` before ``ready_mark``, a second put while
+    one is already in flight)."""
+
+
+class SentinelError(CkDirectError):
+    """The out-of-band contract was violated (payload contains the
+    out-of-band value in its final double word)."""
+
+
+class PutMismatchError(CkDirectError):
+    """The sender-side buffer associated with a channel does not match
+    the registered receive buffer (size, dtype, or element count), so a
+    put could never land correctly.  Raised at ``assoc_local`` time —
+    the earliest point both endpoints are known — instead of surfacing
+    as a numpy copy/broadcast failure at delivery time."""
+
+
+class PutRaceError(CkDirectError):
+    """A put landed in a buffer whose sentinel was consumed but not yet
+    re-marked (``ready_mark``): the receiver still owns the buffer and
+    the application-level synchronization the paper relies on (§4.1)
+    has been violated.  Raised by the debug-mode use-before-ready
+    check (see :data:`repro.ckdirect.api.RACE_CHECK`)."""

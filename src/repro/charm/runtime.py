@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Type
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.plan import FaultPlan, ReliabilityParams
     from .section import ArraySection
 
 from ..network import Fabric, MachineParams, make_fabric
@@ -62,7 +63,16 @@ class _PEAgent(Chare):
 
 
 class Runtime:
-    """A simulated Charm++-style runtime instance."""
+    """A simulated Charm++-style runtime instance.
+
+    ``fault_plan`` installs a :class:`~repro.faults.FaultInjector` on
+    the fabric and arms the CkDirect reliability layer (sequence
+    numbers, ack/retransmit timers, the poll watchdog, charm-path
+    fallback).  ``reliability`` overrides the layer's default knobs; it
+    may also be passed alone to run the protocol on a perfect fabric.
+    Without either, none of that machinery exists — the fabric methods
+    are unwrapped and the put path is the paper's fire-and-forget one.
+    """
 
     def __init__(
         self,
@@ -70,6 +80,8 @@ class Runtime:
         n_pes: int,
         record_samples: bool = False,
         tracer: Optional[EventLog] = None,
+        fault_plan: Optional["FaultPlan"] = None,
+        reliability: Optional["ReliabilityParams"] = None,
     ) -> None:
         if n_pes <= 0:
             raise CharmError(f"n_pes must be positive, got {n_pes}")
@@ -89,6 +101,23 @@ class Runtime:
         if self.tracer is not None:
             self.fabric.tracer = self.tracer
             self.fabric.trace_run = self._trace_run
+        self.fault_injector = None
+        self.reliability = None
+        self.watchdog = None
+        #: reliable puts issued but not yet acknowledged, by handle id.
+        self._reliable_inflight: Dict[int, Any] = {}
+        if fault_plan is not None or reliability is not None:
+            from ..faults import FaultInjector, ReliabilityParams
+            from .scheduler import PollWatchdog
+
+            self.reliability = reliability if reliability is not None \
+                else ReliabilityParams()
+            self.watchdog = PollWatchdog(self, self.reliability)
+            if fault_plan is not None:
+                self.fault_injector = FaultInjector(
+                    fault_plan, self.sim, self.trace
+                )
+                self.fault_injector.attach(self.fabric)
         self.n_pes = n_pes
         self.pes: List[PE] = [PE(self, r) for r in range(n_pes)]
         self.arrays: Dict[int, ChareArray] = {}
@@ -274,6 +303,20 @@ class Runtime:
             entry(*unwrap_args(msg.args))
         finally:
             self._exit_pe()
+
+    # ------------------------------------------------------------------
+    # Reliability bookkeeping (no-ops unless built with a fault plan)
+    # ------------------------------------------------------------------
+
+    def _note_inflight(self, handle) -> None:
+        """A reliable put was issued; keep the watchdog watching it."""
+        self._reliable_inflight[handle.hid] = handle
+        if self.watchdog is not None:
+            self.watchdog.arm()
+
+    def _note_acked(self, handle) -> None:
+        """The handle's newest put was acknowledged; stop watching."""
+        self._reliable_inflight.pop(handle.hid, None)
 
     # ------------------------------------------------------------------
     # Running

@@ -27,12 +27,15 @@ from .api import (
     register_handle,
 )
 from .handle import (
+    RACE_CHECK,
     ChannelState,
     ChannelStateError,
     CkDirectError,
     CkDirectHandle,
+    PutRaceError,
     SentinelError,
 )
+from ..charm.errors import PutMismatchError
 
 __all__ = [
     "create_handle",
@@ -53,4 +56,7 @@ __all__ = [
     "CkDirectError",
     "ChannelStateError",
     "SentinelError",
+    "PutMismatchError",
+    "PutRaceError",
+    "RACE_CHECK",
 ]

@@ -35,8 +35,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Optional
 
+from ..charm.errors import PutMismatchError
 from ..charm.scheduler import DirectItem
-from ..projections.events import CAT_CKDIRECT
+from ..projections.events import CAT_CKDIRECT, CAT_FAULT
 from ..util.buffers import Buffer
 from .handle import (
     ChannelState,
@@ -112,13 +113,28 @@ def assoc_local(chare: "Chare", handle: CkDirectHandle, src_buffer: Buffer) -> N
     :mod:`repro.ckdirect.ext.multicast`.
     """
     rt = chare.rt
-    if src_buffer.nbytes != handle.recv_buffer.nbytes:
-        raise CkDirectError(
+    recv = handle.recv_buffer
+    if src_buffer.nbytes != recv.nbytes:
+        raise PutMismatchError(
             f"{handle.name}: source is {src_buffer.nbytes}B but the "
-            f"registered receive buffer is {handle.recv_buffer.nbytes}B"
+            f"registered receive buffer is {recv.nbytes}B"
         )
+    if not src_buffer.is_virtual and not recv.is_virtual:
+        # Validate the element-level contract here, at the earliest
+        # point both endpoints are known, so a bad pairing fails as a
+        # typed error instead of a numpy copy failure at delivery time.
+        if src_buffer.array.dtype != recv.array.dtype:
+            raise PutMismatchError(
+                f"{handle.name}: source dtype {src_buffer.array.dtype} does "
+                f"not match the receive buffer dtype {recv.array.dtype}"
+            )
+        if src_buffer.array.size != recv.array.size:
+            raise PutMismatchError(
+                f"{handle.name}: source has {src_buffer.array.size} elements "
+                f"but the receive buffer has {recv.array.size}"
+            )
     if handle.src_pe is not None:
-        raise CkDirectError(f"{handle.name}: assoc_local called twice")
+        raise ChannelStateError(f"{handle.name}: assoc_local called twice")
     handle.src_pe = chare._pe
     handle.src_buffer = src_buffer
     _charge_if_ctx(rt, rt.machine.ckdirect.assoc_overhead)
@@ -182,6 +198,8 @@ def put(handle: CkDirectHandle, issue_cost: Optional[float] = None) -> None:
         # Same-PE channel: a local memcpy at shared-memory speed.
         delay = rt.machine.net.shm_alpha + nbytes * rt.machine.net.shm_beta
         rt.sim.at(pe.cursor + delay, _complete, handle)
+    elif rt.reliability is not None:
+        _reliable_put(handle, pe.cursor)
     else:
         rt.fabric.direct_put(
             src_rank, dst_rank, nbytes, pe.cursor, lambda: _complete(handle)
@@ -213,6 +231,226 @@ def _complete(handle: CkDirectHandle) -> None:
         # Infiniband: wake the receiver; its poll sweep will detect the
         # sentinel change (if the handle is in the polling queue).
         handle.recv_pe.notify_arrival()
+
+
+# ---------------------------------------------------------------------------
+# Reliability layer (active when the runtime carries ReliabilityParams)
+# ---------------------------------------------------------------------------
+#
+# The paper's put is fire-and-forget: no ack, no timer, no retry —
+# "unsynchronized" is the whole contribution.  When the runtime is
+# built with a fault plan, puts instead run this sliding-window-of-one
+# protocol, entirely as simulated-time events:
+#
+#   sender                               receiver
+#   ------                               --------
+#   put seq=n  ── direct_put ──────────► dedup (seq <= last? discard)
+#   arm RTO(attempt)                     deliver / deliver_torn
+#     │ timeout                          ack(n) ◄── small charm msg ──
+#     ├─ attempt < max: retransmit n
+#     └─ attempt = max: degrade handle, send n via charm_transport
+#   ack(n): cancel RTO, put resolved
+#
+# A PollWatchdog (charm/scheduler.py) periodically scans unresolved
+# puts: torn landings are repaired locally, lost deliveries have their
+# sender timeout pulled forward, and lost *acks* for already-delivered
+# puts are re-sent.  None of this code runs — and none of these handle
+# fields are touched — when ``rt.reliability`` is None, so the
+# disabled-faults put path is unchanged.
+
+
+def _reliable_put(handle: CkDirectHandle, start: float) -> None:
+    """Issue one put under the reliability protocol."""
+    rt = handle.rt
+    handle.put_seq += 1
+    handle.attempt = 0
+    handle.put_issue_time = start
+    rt._note_inflight(handle)
+    if handle.degraded:
+        _fallback_send(handle, handle.put_seq, start)
+    else:
+        _send_attempt(handle, handle.put_seq, start)
+
+
+def _send_attempt(handle: CkDirectHandle, seq: int, start: float) -> None:
+    """One RDMA attempt for put ``seq``; arms the retransmit timeout."""
+    rt = handle.rt
+    rel = rt.reliability
+    handle.attempt += 1
+    nbytes = handle.recv_buffer.nbytes
+    inj = rt.fault_injector
+    # The torn-sentinel fault is CkDirect-specific (the fabric does not
+    # know the trailing word is special), so it is drawn here and the
+    # delivery routed through the torn-landing path.  BG/P completion
+    # is callback-based, not sentinel-inferred, so it cannot tear.
+    torn = inj is not None and not _is_bgp(rt) and inj.draw_torn()
+    if handle.attempt > 1:
+        rt.trace.count("ckdirect.retransmits")
+        tr = rt.tracer
+        if tr is not None:
+            tr.instant(
+                rt._trace_run, handle.src_pe.rank, CAT_FAULT,
+                f"retransmit:{handle.name}", start,
+                args={"seq": seq, "attempt": handle.attempt},
+            )
+    rt.fabric.direct_put(
+        handle.src_pe.rank, handle.recv_pe.rank, nbytes, start,
+        lambda: _reliable_deliver(handle, seq, torn),
+    )
+    handle.rto_event = rt.sim.at(
+        start + rel.rto(handle.attempt), _on_timeout, handle, seq
+    )
+
+
+def _on_timeout(handle: CkDirectHandle, seq: int) -> None:
+    """Retransmit timeout: try again, or give up and degrade."""
+    rt = handle.rt
+    handle.rto_event = None
+    if handle.acked_seq >= seq or seq != handle.put_seq:
+        return  # stale timer from a put already resolved/superseded
+    now = rt.sim.now
+    if handle.attempt >= rt.reliability.max_attempts:
+        # Graceful degradation: this put — and every later one on this
+        # handle — takes the two-copy Charm++ message path instead.
+        handle.degraded = True
+        rt.trace.count("ckdirect.degraded_handles")
+        tr = rt.tracer
+        if tr is not None:
+            tr.instant(
+                rt._trace_run, handle.src_pe.rank, CAT_FAULT,
+                f"degrade:{handle.name}", now,
+                args={"seq": seq, "attempts": handle.attempt},
+            )
+        _fallback_send(handle, seq, now)
+    else:
+        _send_attempt(handle, seq, now)
+
+
+def _fallback_send(handle: CkDirectHandle, seq: int, start: float) -> None:
+    """Ship put ``seq`` down the two-copy ``charm_transport`` path.
+
+    The built-in fault profiles leave the ``charm`` scope fault-free
+    (there is no retransmission below this layer), so a fallback put
+    always delivers; a custom plan that faults ``charm`` deliberately
+    gives up that guarantee.
+    """
+    rt = handle.rt
+    rt.trace.count("ckdirect.fallback_puts")
+    rt.fabric.charm_transport(
+        handle.src_pe.rank, handle.recv_pe.rank, handle.recv_buffer.nbytes,
+        start, lambda: _reliable_deliver(handle, seq, False),
+    )
+
+
+def _reliable_deliver(handle: CkDirectHandle, seq: int, torn: bool) -> None:
+    """Fabric delivery callback on the reliable path."""
+    rt = handle.rt
+    if seq <= handle.last_delivered_seq:
+        # A duplicate, or a delayed original overtaken by its own
+        # retransmit: the payload must NOT land (the buffer may already
+        # belong to a later phase), but the sender still needs the ack.
+        rt.trace.count("ckdirect.dup_discards")
+        _send_ack(handle, seq)
+        return
+    if torn:
+        handle.deliver_torn()
+        # No ack, no notify: to both endpoints the put looks lost until
+        # a retransmit or the watchdog recovers it.
+        return
+    handle.deliver()
+    handle.last_delivered_seq = seq
+    tr = rt.tracer
+    if tr is not None:
+        handle.trace_eid = tr.instant(
+            rt._trace_run, handle.recv_pe.rank, CAT_CKDIRECT,
+            f"put_complete:{handle.name}", rt.sim.now,
+            cause=handle.trace_put_eid,
+            args={"bytes": handle.recv_buffer.nbytes, "seq": seq},
+        )
+    _send_ack(handle, seq)
+    _notify_arrival(handle)
+
+
+def _notify_arrival(handle: CkDirectHandle) -> None:
+    """Wake the receiver after a reliable delivery (mirrors _complete)."""
+    rt = handle.rt
+    if _is_bgp(rt):
+        cost = rt.fabric.recv_handler_cost(
+            handle.recv_buffer.nbytes
+        ) + rt.machine.ckdirect.callback_overhead
+        item = DirectItem(cost, handle.fire)
+        item.trace_eid = handle.trace_eid
+        handle.recv_pe.push_direct(item)
+    else:
+        handle.recv_pe.notify_arrival()
+
+
+def _send_ack(handle: CkDirectHandle, seq: int) -> None:
+    """Receiver -> sender completion ack (a small control message)."""
+    rt = handle.rt
+    rt.trace.count("ckdirect.acks_sent")
+    inj = rt.fault_injector
+    src, dst = handle.recv_pe.rank, handle.src_pe.rank
+    now = rt.sim.now
+    if inj is not None:
+        with inj.scoped("ack"):
+            rt.fabric.charm_transport(
+                src, dst, rt.reliability.ack_bytes, now,
+                lambda: _on_ack(handle, seq),
+            )
+    else:
+        rt.fabric.charm_transport(
+            src, dst, rt.reliability.ack_bytes, now,
+            lambda: _on_ack(handle, seq),
+        )
+
+
+def _on_ack(handle: CkDirectHandle, seq: int) -> None:
+    """Sender side: put ``seq`` is acknowledged."""
+    rt = handle.rt
+    if seq <= handle.acked_seq:
+        return  # duplicate ack (receiver re-acks every duplicate)
+    handle.acked_seq = seq
+    rt.trace.count("ckdirect.acks_received")
+    if seq >= handle.put_seq:
+        # The newest put resolved: disarm its timer.  (An ack for an
+        # older put must leave the current put's timer alone.)
+        ev = handle.rto_event
+        if ev is not None:
+            ev.cancel()
+            handle.rto_event = None
+        rt._note_acked(handle)
+
+
+def _watchdog_recover(handle: CkDirectHandle, seq: int) -> None:
+    """Escalate one stalled put (called by the PollWatchdog).
+
+    Torn landings are repaired locally — the retransmit protocol's
+    control header carries the payload's true trailing word, so the
+    watchdog can finish the delivery without moving data.  A put with
+    no landing at all has its sender's pending timeout pulled forward,
+    so recovery does not wait out a long backoff.
+    """
+    rt = handle.rt
+    rt.trace.count("ckdirect.watchdog_fires")
+    tr = rt.tracer
+    if tr is not None:
+        tr.instant(
+            rt._trace_run, handle.recv_pe.rank, CAT_FAULT,
+            f"watchdog:{handle.name}", rt.sim.now,
+            args={"seq": seq, "torn": handle.torn_landed},
+        )
+    if handle.torn_landed:
+        handle.recover_torn()
+        handle.last_delivered_seq = seq
+        rt.trace.count("ckdirect.torn_recoveries")
+        _send_ack(handle, seq)
+        _notify_arrival(handle)
+        return
+    ev = handle.rto_event
+    if ev is not None:
+        ev.cancel()
+        _on_timeout(handle, seq)
 
 
 # ---------------------------------------------------------------------------

@@ -58,6 +58,7 @@ class AccumulateHandle(CkDirectHandle):
 
     def deliver(self) -> None:
         """Land arriving data (combining, for accumulate channels)."""
+        self._check_landing()
         src, dst = self.src_buffer, self.recv_buffer
         if not dst.is_virtual and self._saved_last is not None:
             dst.set_last(self._saved_last)  # restore the displaced partial

@@ -42,24 +42,24 @@ import itertools
 from typing import TYPE_CHECKING, Any, Callable, Optional, Union
 
 from ..charm.callback import CkCallback
+from ..charm.errors import (  # re-exported for back-compat
+    ChannelStateError,
+    CkDirectError,
+    PutRaceError,
+    SentinelError,
+)
 from ..util.buffers import Buffer
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..charm.pe import PE
     from ..charm.runtime import Runtime
 
-
-class CkDirectError(RuntimeError):
-    """Base class for CkDirect misuse."""
-
-
-class ChannelStateError(CkDirectError):
-    """An operation was attempted in a state that forbids it."""
-
-
-class SentinelError(CkDirectError):
-    """The out-of-band contract was violated (payload contains the
-    out-of-band value in its final double word)."""
+#: Debug-mode use-before-ready check (on by default): a put landing in
+#: a buffer whose sentinel was consumed but not re-marked raises
+#: :class:`~repro.charm.errors.PutRaceError` instead of silently
+#: overwriting data the receiver still owns.  Flip off to model the
+#: real hardware, which performs the errant write without complaint.
+RACE_CHECK = True
 
 
 class ChannelState(enum.Enum):
@@ -102,6 +102,19 @@ class CkDirectHandle:
         "name",
         "trace_put_eid",
         "trace_eid",
+        # Reliability-layer state (inert unless the runtime carries a
+        # ReliabilityParams — see repro.ckdirect.api._reliable_put).
+        "sentinel_armed",
+        "put_seq",
+        "last_delivered_seq",
+        "acked_seq",
+        "attempt",
+        "degraded",
+        "put_issue_time",
+        "rto_event",
+        "watchdog_fired_seq",
+        "torn_landed",
+        "_torn_true_last",
     )
 
     def __init__(
@@ -132,6 +145,20 @@ class CkDirectHandle:
         #: issue span, and the completion instant the callback chains to.
         self.trace_put_eid = None
         self.trace_eid = None
+        #: True while the receiver has ceded the buffer to the network
+        #: (sentinel stamped, callback not yet fired) — the invariant
+        #: the use-before-ready race check enforces at delivery.
+        self.sentinel_armed = True
+        self.put_seq = 0  # sender-side: last sequence number issued
+        self.last_delivered_seq = 0  # receiver-side duplicate filter
+        self.acked_seq = 0  # sender-side: newest acknowledged put
+        self.attempt = 0  # RDMA attempts for the current put
+        self.degraded = False  # permanently on the charm_transport path
+        self.put_issue_time = 0.0
+        self.rto_event = None  # pending retransmit-timeout sim event
+        self.watchdog_fired_seq = 0  # once-per-stall watchdog filter
+        self.torn_landed = False  # payload present, sentinel lost
+        self._torn_true_last = None
 
     # ------------------------------------------------------------------
     # Sentinel mechanics (real buffers only)
@@ -139,6 +166,7 @@ class CkDirectHandle:
 
     def stamp_sentinel(self) -> None:
         """Write the out-of-band value into the trailing element."""
+        self.sentinel_armed = True
         if not self.recv_buffer.is_virtual:
             self.recv_buffer.set_last(self.oob)
 
@@ -153,9 +181,27 @@ class CkDirectHandle:
     # Delivery-side transitions (driven by the api module)
     # ------------------------------------------------------------------
 
+    def _check_landing(self) -> None:
+        """Use-before-ready race check, at the moment a put lands.
+
+        The state machine catches misuse at *issue* time, but real RDMA
+        lands whatever was posted: a write arriving after the receiver
+        consumed the buffer and before ``ready_mark`` silently destroys
+        data the receiver still owns.  With :data:`RACE_CHECK` on
+        (default) that landing raises instead.
+        """
+        if RACE_CHECK and not self.sentinel_armed:
+            raise PutRaceError(
+                f"{self.name}: a put landed while the receiver owns the "
+                "buffer (sentinel consumed, ready_mark not yet called) — "
+                "the application's phase synchronization has a race"
+            )
+
     def deliver(self) -> None:
         """The put's last byte arrived: land the data, flip state."""
         assert self.state is ChannelState.IN_FLIGHT or True  # see api.put
+        self._check_landing()
+        self.torn_landed = False
         if self.src_buffer is not None:
             self.recv_buffer.copy_from(self.src_buffer)
         if not self.recv_buffer.is_virtual and not self.sentinel_clear():
@@ -170,6 +216,48 @@ class CkDirectHandle:
         self.puts_completed += 1
         self.bytes_received += self.recv_buffer.nbytes
 
+    # ------------------------------------------------------------------
+    # Torn-sentinel landings (fault-injection path only)
+    # ------------------------------------------------------------------
+
+    def deliver_torn(self) -> None:
+        """Land the payload but lose the trailing sentinel word.
+
+        Models the RDMA failure the paper's completion scheme is blind
+        to: every byte except the last word arrives, so the sentinel
+        still reads as the out-of-band value and the poll sweep can
+        never detect the message.  The true trailing value is parked in
+        ``_torn_true_last`` so a watchdog :meth:`recover_torn` (or a
+        full retransmit) can complete the delivery.  State stays
+        IN_FLIGHT and ``arrived`` stays False — to both endpoints the
+        put simply looks lost.
+        """
+        self._check_landing()
+        if self.src_buffer is not None:
+            self.recv_buffer.copy_from(self.src_buffer)
+        if not self.recv_buffer.is_virtual:
+            self._torn_true_last = self.recv_buffer.get_last()
+            self.recv_buffer.set_last(self.oob)  # the word that never landed
+        self.torn_landed = True
+
+    def recover_torn(self) -> None:
+        """Repair a torn landing locally (watchdog recovery path).
+
+        The retransmit protocol carries the payload's true trailing
+        word in its control header, so the watchdog can finish the
+        delivery without moving the payload again.
+        """
+        if not self.torn_landed:
+            raise CkDirectError(f"{self.name}: recover_torn without a torn landing")
+        if not self.recv_buffer.is_virtual:
+            self.recv_buffer.set_last(self._torn_true_last)
+        self._torn_true_last = None
+        self.torn_landed = False
+        self.arrived = True
+        self.state = ChannelState.DELIVERED
+        self.puts_completed += 1
+        self.bytes_received += self.recv_buffer.nbytes
+
     def fire(self) -> None:
         """Run the user callback (a plain function call — no scheduling).
 
@@ -177,6 +265,7 @@ class CkDirectHandle:
         completion path (BG/P), already inside the PE's context.
         """
         self.arrived = False
+        self.sentinel_armed = False  # receiver owns the buffer again
         self.state = ChannelState.CONSUMED
         if isinstance(self.callback, CkCallback):
             self.callback.invoke(self.rt, self.cbdata)

@@ -56,6 +56,7 @@ ARTIFACTS = {
     "fig4": "Figure 4 — OpenAtom on Abe (full + PC-only)",
     "fig5": "Figure 5 — OpenAtom on Blue Gene/P (full + PC-only)",
     "ablations": "A1 polling, A2 protocols, A3 MPI sync, A4 virtualization, A5 backward path",
+    "chaos": "fault-injection oracle — apps x profiles, bit-identical results",
     "pingpong": "single pingpong measurement (pick stack/size/machine)",
     "profile": "overhead profile of one app (pick --app/--stack/--machine)",
     "list": "list the available artifacts",
@@ -84,6 +85,9 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--app", default="pingpong",
                    choices=["pingpong", "stencil", "openatom"],
                    help="application for `profile`")
+    p.add_argument("--faults", default="all", metavar="PROFILES",
+                   help="comma-separated fault profiles for `chaos` "
+                        "(default: all built-in profiles)")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write the run's event timeline as Chrome "
                         "trace-event JSON (works with every artifact)")
@@ -174,6 +178,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 2
         return 0
 
+    exit_code = 0
     log = None
     if args.trace_out:
         log = EventLog()
@@ -196,6 +201,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(run_fig4(pes=args.pes)["report"])
         elif args.artifact == "fig5":
             print(run_fig5(pes=args.pes)["report"])
+        elif args.artifact == "chaos":
+            from .bench.chaos import run_chaos
+            from .faults.plan import FaultConfigError, parse_profiles
+
+            try:
+                profiles = parse_profiles(args.faults)
+            except FaultConfigError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            out = run_chaos(profiles=profiles)
+            print(out["report"])
+            if not out["ok"]:
+                exit_code = 1
         elif args.artifact == "ablations":
             for runner in (run_polling_ablation, run_protocol_ablation,
                            run_mpi_sync_ablation, run_vr_ablation,
@@ -207,7 +225,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             uninstall_tracer()
     if log is not None and _write_trace(log, args.trace_out) < 0:
         return 2
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,38 @@
+"""Deterministic fault injection + the reliability layer's knobs.
+
+The paper's CkDirect trusts the fabric completely: a put is a bare RDMA
+write and completion is *inferred* from the out-of-band sentinel — no
+ack, no timeout, no retry (§2.1).  This package supplies the imperfect
+fabric that design must eventually face (:class:`FaultPlan`,
+:class:`FaultInjector`) and the tuning block for the reliability
+machinery that tolerates it (:class:`ReliabilityParams`; the machinery
+itself lives in :mod:`repro.ckdirect.api` and
+:mod:`repro.charm.scheduler`).
+
+Install both by constructing the runtime with a plan::
+
+    rt = Runtime(ABE, 16, fault_plan=FaultPlan.named("drop"))
+
+``repro chaos`` runs the paper's applications under every built-in
+profile and asserts their results remain bit-identical.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    PROFILES,
+    FaultConfigError,
+    FaultPlan,
+    FaultRule,
+    ReliabilityParams,
+    parse_profiles,
+)
+
+__all__ = [
+    "FaultConfigError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "PROFILES",
+    "ReliabilityParams",
+    "parse_profiles",
+]

@@ -1,0 +1,210 @@
+"""Fault plans: what can go wrong on the simulated fabric, and how often.
+
+A :class:`FaultPlan` is a declarative description of an imperfect
+fabric: per-delivery probabilities of a delivery being **dropped**,
+**duplicated**, or **delayed** by sampled jitter, of the sending NIC
+**stalling**, and — specific to CkDirect's out-of-band completion
+scheme — of a put landing its payload but losing (**tearing**) the
+trailing sentinel word, the failure mode that silently defeats the
+poll sweep (paper §2.1).
+
+Faults are *scoped* per transport service so a profile can target the
+unprotected CkDirect data path without starving the control plane:
+
+* ``"put"``   — :meth:`Fabric.direct_put` deliveries (the RDMA write /
+  DCMF send carrying a CkDirect put),
+* ``"ack"``   — the reliability layer's completion acks,
+* ``"charm"`` — :meth:`Fabric.charm_transport` messages,
+* ``"raw"``   — bare :meth:`Fabric.transfer` calls (the simulated-MPI
+  driving path).
+
+The built-in profiles (:data:`PROFILES`) only fault the ``put``/``ack``
+scopes: those are exactly the deliveries the new reliability machinery
+(sequence numbers + retransmit + watchdog + fallback) can recover, so
+an application run under any built-in profile must still produce
+bit-identical results — the property ``repro chaos`` asserts.
+Dropping ``charm``/``raw`` deliveries deadlocks a run by design (no
+retransmission exists there); custom plans may still do it to study
+exactly that.
+
+All randomness is drawn from per-category :func:`repro.sim.rng.substream`
+generators seeded from the plan's seed, so a faulted run is a pure
+function of ``(workload, seed)`` and is reproducible at any ``--jobs N``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class FaultConfigError(ValueError):
+    """Raised for malformed fault plans or unknown profile names."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Fault probabilities for one transport-service scope.
+
+    All probabilities are per delivery (or per ack, for ``ack_drop`` on
+    the ``ack`` scope).  ``delay_mean`` parameterizes an exponential
+    jitter added on top of the modelled delivery time; ``stall_time``
+    is the length of a NIC freeze charged to the sending node's
+    injection port.
+    """
+
+    drop: float = 0.0          # P(delivery lost)
+    dup: float = 0.0           # P(delivery duplicated)
+    delay: float = 0.0         # P(delivery jittered)
+    delay_mean: float = 50e-6  # mean of the exponential jitter (s)
+    torn: float = 0.0          # P(payload lands, sentinel word lost)
+    stall: float = 0.0         # P(sender NIC stalls at injection)
+    stall_time: float = 300e-6  # NIC freeze duration (s)
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "delay", "torn", "stall"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultConfigError(f"{name} must be a probability, got {p!r}")
+        if self.delay_mean < 0 or self.stall_time < 0:
+            raise FaultConfigError("delay_mean/stall_time must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """True when any fault of this rule can actually fire."""
+        return any(
+            getattr(self, f) > 0.0
+            for f in ("drop", "dup", "delay", "torn", "stall")
+        )
+
+
+#: Transport-service scopes a rule can attach to.
+SCOPES = ("put", "ack", "charm", "raw")
+
+_NO_FAULTS = FaultRule()
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded set of per-scope fault rules."""
+
+    profile: str
+    seed: int = 0x0FA11
+    rules: Tuple[Tuple[str, FaultRule], ...] = ()
+
+    def __post_init__(self) -> None:
+        for scope, _rule in self.rules:
+            if scope not in SCOPES:
+                raise FaultConfigError(
+                    f"unknown fault scope {scope!r}; expected one of {SCOPES}"
+                )
+
+    def rule(self, scope: str) -> FaultRule:
+        """The rule for a scope (an all-zero rule when unconfigured)."""
+        for s, r in self.rules:
+            if s == scope:
+                return r
+        return _NO_FAULTS
+
+    @property
+    def active(self) -> bool:
+        """True when any configured rule can fire a fault."""
+        return any(r.active for _s, r in self.rules)
+
+    @classmethod
+    def named(cls, profile: str, seed: int = 0x0FA11) -> "FaultPlan":
+        """Build one of the built-in profiles by name."""
+        try:
+            rules = PROFILES[profile]
+        except KeyError:
+            raise FaultConfigError(
+                f"unknown fault profile {profile!r}; "
+                f"known: {sorted(PROFILES)}"
+            ) from None
+        return cls(profile=profile, seed=seed, rules=rules)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        """The same plan reseeded (independent fault sequence)."""
+        return dataclasses.replace(self, seed=seed)
+
+
+#: Built-in profiles, keyed by the ``--faults`` CLI names.  Each is a
+#: tuple of (scope, rule) pairs — tuples, not dicts, so plans stay
+#: hashable and cheaply picklable for sweep workers.
+PROFILES: Dict[str, Tuple[Tuple[str, FaultRule], ...]] = {
+    # Reliability machinery armed, fabric perfect: measures the cost of
+    # the protection itself and anchors the chaos oracle's comparisons.
+    "none": (),
+    # Put deliveries vanish; some acks vanish too, exercising duplicate
+    # detection on the receiver when the sender retransmits a put that
+    # actually arrived.
+    "drop": (
+        ("put", FaultRule(drop=0.15)),
+        ("ack", FaultRule(drop=0.10)),
+    ),
+    # The CkDirect-specific failure: the RDMA write completes for the
+    # payload but the trailing double word never lands, so the poll
+    # sweep can never observe arrival (§2.1's sharp edge).
+    "torn-sentinel": (
+        ("put", FaultRule(torn=0.20)),
+    ),
+    # Deliveries arrive late (sometimes later than the retransmit
+    # timeout — the stale-duplicate path) and occasionally twice.
+    "delay": (
+        ("put", FaultRule(delay=0.30, delay_mean=400e-6, dup=0.05)),
+    ),
+    # The sending NIC freezes, back-pressuring every later transfer
+    # from that node through the injection-occupancy model.
+    "nic-stall": (
+        ("put", FaultRule(stall=0.08, stall_time=500e-6)),
+    ),
+}
+
+
+def parse_profiles(spec: str) -> Tuple[str, ...]:
+    """Parse a ``--faults`` value: comma-separated profile names.
+
+    ``"all"`` expands to every built-in profile (deterministic order).
+    """
+    if spec.strip() == "all":
+        return tuple(sorted(PROFILES))
+    names = tuple(s.strip() for s in spec.split(",") if s.strip())
+    if not names:
+        raise FaultConfigError(f"no fault profiles in {spec!r}")
+    for name in names:
+        if name not in PROFILES:
+            raise FaultConfigError(
+                f"unknown fault profile {name!r}; known: {sorted(PROFILES)}"
+            )
+    return names
+
+
+@dataclass(frozen=True)
+class ReliabilityParams:
+    """Knobs of the put-reliability layer (all simulated seconds).
+
+    Installed on the runtime whenever a :class:`FaultPlan` is; the
+    defaults sit well above Abe/Surveyor delivery latencies (tens of
+    microseconds) so a clean put is never spuriously retransmitted,
+    while a lost one recovers within a few hundred microseconds.
+    """
+
+    rto_initial: float = 200e-6   # first retransmit timeout
+    rto_backoff: float = 2.0      # exponential backoff factor
+    max_attempts: int = 4         # RDMA attempts before falling back
+    ack_bytes: int = 16           # completion-ack control payload
+    watchdog_period: float = 500e-6   # poll-queue scan interval
+    watchdog_timeout: float = 1.2e-3  # in-flight age that counts as a stall
+
+    def __post_init__(self) -> None:
+        if self.rto_initial <= 0 or self.rto_backoff < 1.0:
+            raise FaultConfigError("rto_initial must be > 0 and backoff >= 1")
+        if self.max_attempts < 1:
+            raise FaultConfigError("max_attempts must be at least 1")
+        if self.watchdog_period <= 0 or self.watchdog_timeout <= 0:
+            raise FaultConfigError("watchdog period/timeout must be > 0")
+
+    def rto(self, attempt: int) -> float:
+        """Retransmit timeout for the given 1-based attempt number."""
+        return self.rto_initial * self.rto_backoff ** (attempt - 1)

@@ -37,6 +37,7 @@ CAT_MPI = "mpi"  # simulated-MPI rank activity
 #: Instant categories (point events).
 CAT_MSG = "msg"  # message send / enqueue
 CAT_NET = "net"  # wire-level transfers and rendezvous control traffic
+CAT_FAULT = "fault"  # injected faults and the recovery actions they trigger
 
 #: Categories whose spans count as *busy* PE time (everything but idle).
 BUSY_CATEGORIES = frozenset(

@@ -203,10 +203,17 @@ class Simulator:
         Dropped events are already ``_cancelled``, so a late
         ``cancel()`` on one of them stays a no-op — no flag updates
         are needed on the removed entries.
+
+        The heap list is compacted *in place*: :meth:`run`,
+        :meth:`step`, and :meth:`schedule_batch` hold local aliases to
+        it across event execution, and cancellation (hence compaction)
+        can happen inside an event callback.  Rebinding ``self._heap``
+        here would strand those aliases on the stale list and the run
+        loop would return with pending events.
         """
         live = [entry for entry in self._heap if not entry[3]._cancelled]
         heapq.heapify(live)
-        self._heap = live
+        self._heap[:] = live
         self._cancelled_in_heap = 0
 
     # ------------------------------------------------------------------

@@ -90,3 +90,13 @@ def _openatom(spec: RunSpec) -> Dict[str, Any]:
     return openatom_point(
         spec.resolve_machine(), mode=spec.mode, n_pes=spec.n_pes, **_app_kwargs(spec)
     )
+
+
+@register_point("chaos")
+def _chaos(spec: RunSpec) -> Dict[str, Any]:
+    # chaos specs carry the app name in the mode slot
+    from ..bench.chaos import chaos_point
+
+    return chaos_point(
+        spec.resolve_machine(), app=spec.mode, n_pes=spec.n_pes, **_app_kwargs(spec)
+    )

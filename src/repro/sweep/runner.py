@@ -243,6 +243,9 @@ class SweepRunner:
                     try:
                         res = conn.recv()
                     except (EOFError, OSError):
+                        # EOF means the child exited; reap it first or
+                        # exitcode may still read None (unwaited zombie).
+                        proc.join()
                         res = RunResult(
                             specs[idx], ok=False,
                             error=f"worker for {specs[idx].label()} died "

@@ -1,0 +1,1 @@
+"""Tests for fault injection and the CkDirect reliability layer."""

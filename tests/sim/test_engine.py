@@ -306,3 +306,28 @@ def test_compaction_preserves_live_events():
     assert sim.pending_active == len(live)
     sim.run()
     assert fired == list(range(50))
+
+
+def test_compaction_inside_run_does_not_strand_the_loop():
+    """Regression: ``_compact()`` used to rebind ``self._heap`` to a
+    fresh list, stranding the local alias ``run()`` iterates — events
+    scheduled after an in-callback compaction landed on the new list
+    and the loop returned with them still pending.  Mass cancellation
+    from inside a callback (the reliability layer cancels an RTO timer
+    per ack) is exactly what triggers compaction mid-run."""
+    sim = Simulator()
+    fired = []
+    victims = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(200)]
+    survivors = [sim.schedule(2.0 + i * 1e-6, fired.append, i)
+                 for i in range(40)]
+
+    def cancel_and_continue():
+        for ev in victims:  # > half the heap: compacts at least once
+            ev.cancel()
+        sim.schedule(1e-6, fired.append, "after")
+
+    sim.schedule(1e-6, cancel_and_continue)
+    sim.run()
+    assert fired == ["after"] + list(range(40))
+    assert sim.pending == 0
+    assert sim.pending_active == 0
