@@ -179,3 +179,13 @@ class MatMulBase(Chare):
     def _maybe_finish_root(self) -> None:
         if self._root_ready():
             self._finish_root()
+
+    def shard_state(self) -> Optional[dict]:
+        """Result state gather_c reads (sharded-engine reconciliation)."""
+        if not self.validate:
+            return None
+        out = {"Cpart": self.Cpart}
+        if self.is_root:
+            out["C"] = self.C
+            out["c_slots"] = self.c_slots
+        return out

@@ -17,6 +17,7 @@ import numpy as np
 from ...charm import Runtime
 from ...faults import FaultPlan
 from ...network.params import MachineParams
+from ...sim.parallel import resolve_shards
 from ..stencil.base import IterationMonitor
 from .base import MatMulBase
 from .decomp3d import MatMulSpec, choose_side, global_a, global_b
@@ -61,11 +62,15 @@ def run_matmul(
     keep_runtime: bool = False,
     faults: Optional[str] = None,
     fault_seed: int = 0x0FA11,
+    shards: Optional[int] = None,
 ) -> MatMulResult:
     """One matmul run on ``n_pes`` PEs with a ``c^3`` chare grid.
 
     ``faults`` names a built-in fault profile: the run then executes on
     an imperfect fabric with the CkDirect reliability layer armed.
+
+    ``shards`` (or ``REPRO_SHARDS``) selects the sharded parallel
+    engine — bit-identical results, partitioned wall-clock work.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}, got {mode!r}")
@@ -73,7 +78,7 @@ def run_matmul(
     side = c if c is not None else choose_side(N, n_pes)
     spec = MatMulSpec(N, side)
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
-    rt = Runtime(machine, n_pes, fault_plan=plan)
+    rt = Runtime(machine, n_pes, fault_plan=plan, shards=resolve_shards(shards))
     monitor = IterationMonitor(rt, None, iterations)
     arr = rt.create_array(
         cls,
@@ -97,7 +102,7 @@ def run_matmul(
         iterations=iterations,
         iter_times=monitor.iter_times,
         runtime=rt if keep_runtime else None,
-        events=rt.sim.events_processed,
+        events=rt.events_processed,
     )
 
 

@@ -17,6 +17,7 @@ import numpy as np
 from ...charm import CkCallback, Runtime
 from ...faults import FaultPlan
 from ...network.params import MachineParams
+from ...sim.parallel import resolve_shards
 from .config import OpenAtomConfig
 from .gspace import GSpaceBase
 from .paircalc import Ortho
@@ -94,12 +95,16 @@ def run_openatom(
     keep_runtime: bool = False,
     faults: Optional[str] = None,
     fault_seed: int = 0x0FA11,
+    shards: Optional[int] = None,
     **cfg_overrides,
 ) -> OpenAtomResult:
     """One OpenAtom mini-app run.
 
     ``faults`` names a built-in fault profile: the run then executes on
     an imperfect fabric with the CkDirect reliability layer armed.
+
+    ``shards`` (or ``REPRO_SHARDS``) selects the sharded parallel
+    engine — bit-identical results, partitioned wall-clock work.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}, got {mode!r}")
@@ -109,7 +114,7 @@ def run_openatom(
         cfg = dataclasses.replace(cfg, **cfg_overrides)
     gs_cls, pc_cls = MODES[mode]
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
-    rt = Runtime(machine, n_pes, fault_plan=plan)
+    rt = Runtime(machine, n_pes, fault_plan=plan, shards=resolve_shards(shards))
     monitor = OpenAtomMonitor(rt, cfg.iterations)
     gs = rt.create_array(
         gs_cls, dims=(cfg.nstates, cfg.nplanes), ctor_args=(cfg, monitor)
@@ -143,7 +148,7 @@ def run_openatom(
         cfg=cfg,
         step_times=monitor.step_times,
         runtime=rt if keep_runtime else None,
-        events=rt.sim.events_processed,
+        events=rt.events_processed,
     )
 
 

@@ -71,6 +71,10 @@ class GSpaceBase(Chare):
             return Buffer(array=self.points)
         return Buffer(nbytes=self.cfg.points_bytes)
 
+    def shard_state(self):
+        """Point state the driver digests (sharded-engine merge)."""
+        return None if self.points is None else {"points": self.points}
+
     # ------------------------------------------------------------------
     # Phase 1+2: transform and send points (version hook: _send_points)
     # ------------------------------------------------------------------

@@ -73,6 +73,12 @@ class PairCalcBase(Chare):
             return Buffer(array=op[:, offset])
         return Buffer(nbytes=self.cfg.points_bytes)
 
+    def shard_state(self):
+        """Operand state the driver digests (sharded-engine merge)."""
+        if self.left is None:
+            return None
+        return {"left": self.left, "right": self.right}
+
     # ------------------------------------------------------------------
     # Multiply + reduce (common to both versions)
     # ------------------------------------------------------------------

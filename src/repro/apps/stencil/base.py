@@ -188,3 +188,7 @@ class JacobiBase(Chare):
     def interior(self) -> Optional[np.ndarray]:
         """This block's interior data (None in performance mode)."""
         return None if self.u is None else self.u[1:-1, 1:-1, 1:-1]
+
+    def shard_state(self) -> Optional[dict]:
+        """Grid state gather_grid reads (sharded-engine reconciliation)."""
+        return None if self.u is None else {"u": self.u}

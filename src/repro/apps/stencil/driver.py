@@ -16,6 +16,7 @@ import numpy as np
 from ...charm import Runtime
 from ...faults import FaultPlan
 from ...network.params import MachineParams
+from ...sim.parallel import resolve_shards
 from ...util.stats import percent_improvement
 from .base import IterationMonitor, JacobiBase
 from .decomp import choose_grid
@@ -63,12 +64,16 @@ def run_stencil(
     keep_runtime: bool = False,
     faults: Optional[str] = None,
     fault_seed: int = 0x0FA11,
+    shards: Optional[int] = None,
 ) -> StencilResult:
     """One stencil run.  ``vr`` chares per PE, near-cubic blocks.
 
     ``faults`` names a built-in fault profile (``drop``,
     ``torn-sentinel``, ...): the run then executes on an imperfect
     fabric with the CkDirect reliability layer armed.
+
+    ``shards`` (or ``REPRO_SHARDS``) selects the sharded parallel
+    engine — bit-identical results, partitioned wall-clock work.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}, got {mode!r}")
@@ -76,7 +81,7 @@ def run_stencil(
     n_chares = n_pes * vr
     grid = choose_grid(domain, n_chares)
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
-    rt = Runtime(machine, n_pes, fault_plan=plan)
+    rt = Runtime(machine, n_pes, fault_plan=plan, shards=resolve_shards(shards))
     monitor_box: list = []
 
     # The monitor needs the proxy, the array ctor needs the monitor:
@@ -105,7 +110,7 @@ def run_stencil(
         iterations=iterations,
         iter_times=monitor.iter_times,
         runtime=rt if keep_runtime else None,
-        events=rt.sim.events_processed,
+        events=rt.events_processed,
     )
 
 

@@ -130,6 +130,22 @@ class Chare:
             target, self._pe, seq, value, reducer, callback
         )
 
+    # ------------------------------------------------------------------
+    # Sharded-engine state reconciliation (see repro.sim.parallel)
+    # ------------------------------------------------------------------
+
+    def shard_state(self) -> Optional[dict]:
+        """Validation state a worker shard ships home after a sharded
+        run (picklable attribute dict), or None when the element holds
+        none — the default.  Override in chares whose drivers read
+        element state after ``rt.run()``."""
+        return None
+
+    def shard_load(self, state: dict) -> None:
+        """Install a :meth:`shard_state` payload on the parent's copy."""
+        for name, value in state.items():
+            setattr(self, name, value)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         idx = getattr(self, "thisIndex", "?")
         return f"<{type(self).__name__}{idx}>"

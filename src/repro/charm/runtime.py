@@ -82,9 +82,12 @@ class Runtime:
         tracer: Optional[EventLog] = None,
         fault_plan: Optional["FaultPlan"] = None,
         reliability: Optional["ReliabilityParams"] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if n_pes <= 0:
             raise CharmError(f"n_pes must be positive, got {n_pes}")
+        if shards is not None and shards < 1:
+            raise CharmError(f"shards must be >= 1, got {shards}")
         self.machine = machine
         self.sim = Simulator()
         self.trace = Trace(record_samples=record_samples,
@@ -118,6 +121,30 @@ class Runtime:
                     fault_plan, self.sim, self.trace
                 )
                 self.fault_injector.attach(self.fabric)
+        # --- parallel engine (see repro.sim.parallel) ------------------
+        #: requested shard count; None = untouched legacy serial path.
+        self.shards = shards
+        #: CkDirect handles created by this process, by hid (the
+        #: receiver-side registry cross-shard puts resolve against).
+        self._handles: Dict[int, Any] = {}
+        #: host sends buffered until the shard layout is known.
+        self._pending_host_sends: List[tuple] = []
+        self._defer_host_sends = False
+        #: events fired by *other* shards, folded in after a sharded run.
+        self._extra_events = 0
+        #: shard id of this process (0 = coordinator / serial).
+        self.shard_id = 0
+        #: per-shard CPU seconds of the last sharded run (bench metric).
+        self.shard_cpu_times: Optional[List[float]] = None
+        if shards is not None and self.fault_injector is None \
+                and self.reliability is None:
+            # Engine semantics: requested explicitly and no fault/
+            # reliability machinery (whose watchdog and injector read
+            # cross-PE state synchronously) is present.  With faults the
+            # run silently keeps the legacy serial engine, so faulted
+            # runs stay byte-identical at any --shards count.
+            self.fabric.enable_engine(self._engine_deliver)
+            self._defer_host_sends = True
         self.n_pes = n_pes
         self.pes: List[PE] = [PE(self, r) for r in range(n_pes)]
         self.arrays: Dict[int, ChareArray] = {}
@@ -249,9 +276,29 @@ class Runtime:
             )
         dst_pe = self.pes[dst_rank]
         if src_rank is None or src_rank == dst_rank:
-            # Host injection or PE-local delivery: straight to the queue.
-            self.sim.at(start, dst_pe.enqueue, msg)
+            if src_rank is None and self._defer_host_sends:
+                # Sharded run not started yet: the shard layout decides
+                # which process owns dst, so buffer the injection.
+                self._pending_host_sends.append((start, dst_rank, msg))
+            else:
+                owned = self.fabric._owned_nodes
+                if (src_rank is None and owned is not None
+                        and self.fabric.topology.node_of(dst_rank) not in owned):
+                    # A mid-run host injection is instantaneous, which
+                    # only works when the target shares this shard —
+                    # reduction/broadcast roots must live on shard 0.
+                    raise CharmError(
+                        f"host send to PE {dst_rank} owned by another "
+                        "shard; root chares of host-driven collectives "
+                        "must map to shard 0"
+                    )
+                # Host injection or PE-local delivery: straight to queue.
+                self.sim.at(start, dst_pe.enqueue, msg)
         else:
+            if self.fabric._engine:
+                # Describe the in-flight message so the engine can ship
+                # it across shards (the callback closure cannot travel).
+                self.fabric._engine_desc = ("msg", msg)
             self.fabric.charm_transport(
                 src_rank, dst_rank, nbytes, start, lambda: dst_pe.enqueue(msg)
             )
@@ -279,6 +326,31 @@ class Runtime:
             internal=True,
             nbytes_override=CONTROL_BYTES + payload_bytes(args),
         )
+
+    def _flush_host_sends(self, owned_ranks=None) -> None:
+        """Inject deferred host sends (those targeting owned PEs)."""
+        pending, self._pending_host_sends = self._pending_host_sends, []
+        self._defer_host_sends = False
+        for start, dst_rank, msg in pending:
+            if owned_ranks is None or dst_rank in owned_ranks:
+                self.sim.at(start, self.pes[dst_rank].enqueue, msg)
+
+    def _engine_deliver(self, dst_rank: int, desc: tuple) -> None:
+        """Engine rx completion: hand a described arrival to dst.
+
+        ``desc`` kinds: ``("msg", Message)`` for a local (same-process)
+        charm message, ``("lput", handle)`` for a local CkDirect put,
+        and encoded cross-shard forms handled by repro.sim.parallel.
+        """
+        kind = desc[0]
+        if kind == "msg":
+            self.pes[dst_rank].enqueue(desc[1])
+        elif kind == "lput":
+            from ..ckdirect import api as _ckd
+            _ckd._complete(desc[1])
+        else:
+            from ..sim.parallel import deliver_remote
+            deliver_remote(self, dst_rank, desc)
 
     # ------------------------------------------------------------------
     # Delivery (called by PEs)
@@ -327,8 +399,24 @@ class Runtime:
         """Current simulated time in seconds."""
         return self.sim.now
 
+    @property
+    def events_processed(self) -> int:
+        """Events fired across all shards of this run (== the serial
+        count; in a sharded run remote shards report their tallies)."""
+        return self.sim.events_processed + self._extra_events
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
-        """Run the simulation; returns the final simulated time."""
+        """Run the simulation; returns the final simulated time.
+
+        With ``shards`` set (and no fault machinery forcing the legacy
+        engine) a full run is dispatched to the sharded parallel engine;
+        bounded runs (``until``/``max_events``) stay in-process.
+        """
+        if self.fabric._engine and until is None and max_events is None:
+            from ..sim.parallel import run_sharded
+            return run_sharded(self)
+        if self._pending_host_sends or self._defer_host_sends:
+            self._flush_host_sends()
         self.sim.run(until=until, max_events=max_events)
         return self.sim.now
 

@@ -79,6 +79,9 @@ def register_handle(chare: "Chare", handle: CkDirectHandle) -> CkDirectHandle:
     if not _is_bgp(rt):
         # Registers the receive memory and starts polling immediately.
         chare._pe.poll_register(handle)
+    # Receiver-side registry: cross-shard puts resolve the real handle
+    # by hid on the shard that created it (repro.sim.parallel).
+    rt._handles[handle.hid] = handle
     rt.trace.count("ckdirect.handles_created")
     return handle
 
@@ -169,6 +172,13 @@ def put(handle: CkDirectHandle, issue_cost: Optional[float] = None) -> None:
             f"{handle.name}: put from PE {pe.rank}, but the channel was "
             f"associated on PE {handle.src_pe.rank}"
         )
+    if handle.remote:
+        # Sender-side proxy of a channel owned by another shard: the
+        # receiver's re-arms are invisible here, so skip the local state
+        # machine (the real handle's landing-side checks still apply)
+        # and ship a snapshot of the source buffer with the put.
+        _remote_put(handle, pe, issue_cost)
+        return
     legal = _PUTTABLE_BGP if _is_bgp(rt) else _PUTTABLE_IB
     if handle.state not in legal:
         raise ChannelStateError(
@@ -201,9 +211,46 @@ def put(handle: CkDirectHandle, issue_cost: Optional[float] = None) -> None:
     elif rt.reliability is not None:
         _reliable_put(handle, pe.cursor)
     else:
+        if rt.fabric._engine:
+            # Describe the arrival for the engine's canonical rx order.
+            # A real handle's endpoints always share a shard (a remote
+            # sender holds a proxy instead), so this never crosses.
+            rt.fabric._engine_desc = ("lput", handle)
         rt.fabric.direct_put(
             src_rank, dst_rank, nbytes, pe.cursor, lambda: _complete(handle)
         )
+
+
+def _remote_put(handle: CkDirectHandle, pe, issue_cost: Optional[float]) -> None:
+    """Issue a put on a cross-shard proxy handle (engine runs only).
+
+    Charges and counts exactly as :func:`put`; the wire carries the
+    handle id plus a snapshot of the source buffer, and the owning
+    shard lands it through the real handle (see repro.sim.parallel).
+    """
+    rt = handle.rt
+    nbytes = handle.recv_buffer.nbytes
+    pe.charge(rt.machine.ckdirect.put_issue if issue_cost is None else issue_cost)
+    tr = rt.tracer
+    if tr is not None:
+        handle.trace_put_eid = tr.instant(
+            rt._trace_run, pe.rank, CAT_CKDIRECT, f"put:{handle.name}",
+            pe.cursor, cause=tr.current,
+            args={"bytes": nbytes, "dst_pe": handle.recv_pe.rank},
+        )
+    rt.trace.count("ckdirect.puts")
+    rt.trace.count("ckdirect.put_bytes", nbytes)
+    snap = handle.src_buffer.snapshot() if handle.src_buffer is not None else None
+    rt.fabric._engine_desc = ("put", handle.hid, snap)
+    rt.fabric.direct_put(
+        pe.rank, handle.recv_pe.rank, nbytes, pe.cursor, _discarded_cb
+    )
+
+
+def _discarded_cb() -> None:  # pragma: no cover - never scheduled
+    """Placeholder callback for transfers whose delivery is described
+    via the engine descriptor (the fabric discards it)."""
+    raise CkDirectError("engine-described transfer callback must not fire")
 
 
 def _complete(handle: CkDirectHandle) -> None:

@@ -100,6 +100,7 @@ class CkDirectHandle:
         "puts_completed",
         "bytes_received",
         "name",
+        "remote",
         "trace_put_eid",
         "trace_eid",
         # Reliability-layer state (inert unless the runtime carries a
@@ -141,6 +142,12 @@ class CkDirectHandle:
         self.puts_completed = 0
         self.bytes_received = 0
         self.name = name or f"chan{self.hid}"
+        #: True on a sender-side *proxy* of a channel whose receive
+        #: buffer lives on another shard of a sharded run (see
+        #: repro.sim.parallel).  Proxy puts skip the local state
+        #: machine — the real handle on the owning shard enforces the
+        #: landing-side contract.
+        self.remote = False
         #: timeline causality (None untraced): the in-flight put's
         #: issue span, and the completion instant the callback chains to.
         self.trace_put_eid = None

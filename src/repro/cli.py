@@ -20,6 +20,13 @@ runtime, one thread per PE).
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans each artifact's independent
 sweep points out over N worker processes; reports are byte-identical
 to a serial run, so it is purely a wall-clock knob.
+
+``--shards N`` (or ``REPRO_SHARDS=N``) partitions each *single* run
+over N shard processes with the conservative-lookahead parallel
+engine; reports are byte-identical to ``--shards 1``, so it too is
+purely a wall-clock knob.  When both are given, the sweep pool is
+scaled down so jobs x shards stays within the requested process
+budget.
 """
 
 from __future__ import annotations
@@ -97,6 +104,12 @@ def _parser() -> argparse.ArgumentParser:
                    help="run sweep points over N worker processes "
                         "(default: $REPRO_JOBS, else serial; output is "
                         "identical at any N)")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="partition each single run over N shard "
+                        "processes with the conservative-lookahead "
+                        "engine (default: $REPRO_SHARDS, else the "
+                        "legacy serial engine; output is identical "
+                        "at any N)")
     return p
 
 
@@ -141,12 +154,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--iterations must be at least 1, got {args.iterations}")
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be at least 1, got {args.jobs}")
+    if args.shards is not None and args.shards < 1:
+        parser.error(f"--shards must be at least 1, got {args.shards}")
     if args.full_scale:
         os.environ["REPRO_FULL_SCALE"] = "1"
     if args.jobs is not None:
         # Sweeps resolve their pool size from REPRO_JOBS, so one flag
         # covers every artifact (including the ones run indirectly).
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.shards is not None:
+        # Runs resolve their shard count from REPRO_SHARDS, so one
+        # flag covers every artifact; runs that cannot shard (fault
+        # injection, link contention) fall back to serial on their own.
+        os.environ["REPRO_SHARDS"] = str(args.shards)
 
     if args.artifact == "list":
         width = max(len(k) for k in ARTIFACTS)

@@ -39,12 +39,19 @@ from __future__ import annotations
 
 import math
 from contextlib import contextmanager
+from heapq import heappop, heappush
 from typing import Callable, List, Optional, Tuple
 
 from ..projections.events import CAT_NET, NET_TRACK
 from ..sim import Entity, Simulator, Trace
 from .params import MachineParams
 from .topology import Topology
+
+#: Event priority of the engine-mode arrival-admission wake: it must
+#: fire before any ordinary (priority-0) event at the same instant so
+#: ejection-port admission order is independent of event seq numbers
+#: (which differ across shard counts).
+_ADMIT_PRIORITY = -16
 
 
 class FabricError(RuntimeError):
@@ -74,6 +81,31 @@ class Fabric(Entity):
         self._rx_free = [0.0] * n
         #: deferred (delivery, cb) pairs while inside a batch() block.
         self._batch: Optional[List[Tuple[float, Callable[[], None]]]] = None
+        # --- parallel-engine mode (see repro.sim.parallel) -------------
+        #: False = legacy semantics (receiver ejection occupancy charged
+        #: at *send* time in global send order).  True = engine
+        #: semantics: the rx half of every cross-node transfer is
+        #: admitted in canonical head-arrival order, which is the same
+        #: at any shard count.
+        self._engine = False
+        #: descriptor for the transfer about to be issued (set by the
+        #: runtime / ckdirect layers immediately before each service
+        #: call; consumed and cleared by :meth:`transfer`).
+        self._engine_desc = None
+        #: heap of in-flight arrival records
+        #: ``(head_arrival, dst, src, k, stream, occ, wire_bytes, desc)``.
+        self._records: list = []
+        #: per-source-PE monotone transfer counter (deterministic
+        #: record tiebreak, identical at any shard count).
+        self._send_k: dict = {}
+        #: node ranks owned by this shard (None = all; records to other
+        #: shards go to the outbox instead of the local heap).
+        self._owned_nodes = None
+        #: cross-shard records awaiting the next epoch exchange.
+        self._outbox: list = []
+        #: delivery resolver ``(dst_rank, desc) -> None`` installed by
+        #: the runtime when engine mode is enabled.
+        self._engine_deliver: Optional[Callable] = None
 
     # ------------------------------------------------------------------
     # Delivery scheduling (batchable)
@@ -155,6 +187,9 @@ class Fabric(Entity):
         cb:
             Invoked (no args) at the delivery instant.
         """
+        desc = None
+        if self._engine:
+            desc, self._engine_desc = self._engine_desc, None
         if src == dst:
             raise FabricError("self-send must be short-circuited by the caller")
         if wire_bytes < 0:
@@ -181,11 +216,36 @@ class Fabric(Entity):
         tx_start = max(start + pre, self._tx_free[src_node])
         self._tx_free[src_node] = tx_start + occ
         head_arrival = tx_start + alpha + self.topology.hops(src, dst) * self._hop_latency()
+        self.trace.count("net.transfers")
+        self.trace.count("net.bytes", wire_bytes)
+        if self._engine:
+            # Engine semantics: the tx half (above) runs sender-side at
+            # issue; the rx half is deferred until head arrival and
+            # admitted in canonical record order by _admit_arrivals, so
+            # ejection occupancy is charged identically at any shard
+            # count.  The return value is therefore only the
+            # contention-free delivery estimate (no engine-mode caller
+            # consumes it; MPI, which does, forces the legacy path).
+            k = self._send_k.get(src, 0)
+            self._send_k[src] = k + 1
+            rec = (head_arrival, dst, src, k, stream, occ, wire_bytes,
+                   cb if desc is None else desc)
+            owned = self._owned_nodes
+            if owned is None or dst_node in owned:
+                heappush(self._records, rec)
+                self.sim.at(head_arrival, self._admit_arrivals,
+                            priority=_ADMIT_PRIORITY)
+            else:
+                if desc is None:
+                    raise FabricError(
+                        "cross-shard transfer lacks a descriptor; this "
+                        "workload must run with the serial engine"
+                    )
+                self._outbox.append(rec)
+            return head_arrival + stream
         rx_start = max(head_arrival, self._rx_free[dst_node])
         delivery = rx_start + stream
         self._rx_free[dst_node] = rx_start + occ
-        self.trace.count("net.transfers")
-        self.trace.count("net.bytes", wire_bytes)
         if self.tracer is not None:
             self.tracer.instant(
                 self.trace_run, NET_TRACK, CAT_NET, "transfer", delivery,
@@ -194,6 +254,68 @@ class Fabric(Entity):
             )
         self._schedule_delivery(delivery, cb)
         return delivery
+
+    # ------------------------------------------------------------------
+    # Parallel-engine mode (see repro.sim.parallel)
+    # ------------------------------------------------------------------
+
+    def enable_engine(self, deliver: Callable) -> None:
+        """Switch to engine semantics; ``deliver(dst_rank, desc)``
+        resolves a transfer descriptor into its receiver-side effect."""
+        self._engine = True
+        self._engine_deliver = deliver
+
+    def min_remote_latency(self) -> float:
+        """Strictly positive floor on cross-node end-to-end latency.
+
+        Every cross-node transfer issued at time *t* arrives no earlier
+        than ``t + min_remote_latency()`` (``pre >= 0``, occupancy only
+        delays).  This is the conservative lookahead of the parallel
+        engine's epoch windows.
+        """
+        raise NotImplementedError
+
+    def _admit_arrivals(self) -> None:
+        """Admit every record whose head has arrived (``ha <= now``).
+
+        Records are drained in canonical ``(ha, dst, src, k)`` order —
+        a total order independent of the shard count — so receiver
+        ejection occupancy (``_rx_free``) evolves identically whether a
+        record was produced locally or exchanged at an epoch barrier.
+        One wake is scheduled per record; the first wake at an instant
+        drains all records due then, later ones find nothing.
+        """
+        recs = self._records
+        now = self.sim.now
+        rx_free = self._rx_free
+        node_of = self.topology.node_of
+        at = self.sim.at
+        tracer = self.tracer
+        while recs and recs[0][0] <= now:
+            ha, dst, src, _k, stream, occ, wire_bytes, payload = heappop(recs)
+            dn = node_of(dst)
+            rx_start = rx_free[dn] if rx_free[dn] > ha else ha
+            delivery = rx_start + stream
+            rx_free[dn] = rx_start + occ
+            if tracer is not None:
+                tracer.instant(
+                    self.trace_run, NET_TRACK, CAT_NET, "transfer", delivery,
+                    args={"src": src, "dst": dst, "bytes": wire_bytes},
+                )
+            if isinstance(payload, tuple):
+                at(delivery, self._engine_deliver, dst, payload)
+            else:
+                at(delivery, payload)
+
+    def take_outbox(self) -> list:
+        """Drain the cross-shard records buffered since the last epoch."""
+        out, self._outbox = self._outbox, []
+        return out
+
+    def admit_remote(self, rec: tuple) -> None:
+        """Insert one exchanged record (its ha lies in a future window)."""
+        heappush(self._records, rec)
+        self.sim.at(rec[0], self._admit_arrivals, priority=_ADMIT_PRIORITY)
 
     # ------------------------------------------------------------------
     # Machine-specific constants (overridden per fabric)

@@ -61,8 +61,20 @@ class BGPFabric(Fabric):
     # ------------------------------------------------------------------
 
     def enable_link_contention(self, on: bool = True) -> None:
-        """Switch between node-granularity and per-link contention."""
+        """Switch between node-granularity and per-link contention.
+
+        Per-link routes read and update a global link-occupancy map in
+        send order, which the sharded engine cannot partition; enabling
+        contention therefore drops back to the serial legacy engine.
+        """
         self._link_contention = bool(on)
+        if on and self._engine:
+            self._engine = False
+
+    def min_remote_latency(self) -> float:
+        """Cross-node latency floor: the cheaper short-message alpha
+        plus one torus hop (every cross-node route crosses >= 1 link)."""
+        return min(self.p.alpha, self.p.alpha_short) + self.p.hop_latency
 
     def route(self, src_node: int, dst_node: int):
         """Dimension-order minimal route: the directed links crossed.

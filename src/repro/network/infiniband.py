@@ -53,6 +53,11 @@ class InfinibandFabric(Fabric):
         """The machine's transport parameter block."""
         return self.machine.net
 
+    def min_remote_latency(self) -> float:
+        """Cross-node latency floor: the base alpha (``pre``, per-hop
+        and per-byte terms are all non-negative on the fat tree)."""
+        return self.p.alpha
+
     # ------------------------------------------------------------------
     # Protocol selection
     # ------------------------------------------------------------------

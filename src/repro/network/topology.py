@@ -180,3 +180,40 @@ def pes_on_node(topo: Topology, node: int) -> Iterable[int]:
     """The PE ranks hosted by ``node``."""
     base = node * topo.cores_per_node
     return range(base, base + topo.cores_per_node)
+
+
+def shard_nodes(topo: Topology, n_shards: int) -> "list[range]":
+    """Partition the node ranks into ``n_shards`` contiguous blocks.
+
+    Shard boundaries are *node*-aligned — no shard splits a node, so
+    shared-memory (same-node) traffic never crosses shards — and blocks
+    are contiguous in node-rank order.  On the fat tree contiguous node
+    ranks are equivalent to any other grouping (all inter-node pairs are
+    one hop); on the x-major torus they form slabs, which keeps
+    nearest-neighbour traffic (the dominant pattern of the paper's
+    apps, laid out block-wise over rank order) mostly shard-internal.
+
+    Remainder nodes go to the leading shards; every shard receives at
+    least one node (``n_shards`` must not exceed ``n_nodes``).
+    """
+    if not (1 <= n_shards <= topo.n_nodes):
+        raise TopologyError(
+            f"need 1 <= shards <= {topo.n_nodes} nodes, got {n_shards}"
+        )
+    base, rem = divmod(topo.n_nodes, n_shards)
+    out = []
+    start = 0
+    for s in range(n_shards):
+        count = base + (1 if s < rem else 0)
+        out.append(range(start, start + count))
+        start += count
+    return out
+
+
+def shard_of_node(topo: Topology, node: int, n_shards: int) -> int:
+    """The shard owning ``node`` under :func:`shard_nodes` (closed form)."""
+    base, rem = divmod(topo.n_nodes, n_shards)
+    split = rem * (base + 1)
+    if node < split:
+        return node // (base + 1)
+    return rem + (node - split) // base

@@ -121,7 +121,7 @@ class Simulator:
         events already scheduled for the current instant at equal
         priority (FIFO among ties).
         """
-        if delay < 0:
+        if not (delay >= 0):  # rejects negatives and NaN
             raise SimulationError(f"negative delay: {delay!r}")
         return self.at(self._now + delay, fn, *args, priority=priority, **kwargs)
 
@@ -134,7 +134,7 @@ class Simulator:
         **kwargs: Any,
     ) -> Event:
         """Schedule ``fn`` at an absolute simulated time."""
-        if time < self._now:
+        if not (time >= self._now):  # rejects past times and NaN
             raise SimulationError(
                 f"cannot schedule in the past: t={time!r} < now={self._now!r}"
             )
@@ -159,6 +159,11 @@ class Simulator:
         way the per-entry Python overhead (argument processing, kwargs
         dict handling) of repeated :meth:`at` calls is skipped.  Used
         by the fabrics for multi-put / multi-packet send bursts.
+
+        A past (or NaN) time raises :class:`SimulationError` exactly as
+        :meth:`at` does, and the rejection is atomic: neither the heap
+        nor the sequence counter is touched, so a failed batch admits
+        nothing.
         """
         now = self._now
         heap = self._heap
@@ -166,7 +171,7 @@ class Simulator:
         events: List[Event] = []
         batch: List[Tuple[float, int, int, Event]] = []
         for time, fn, args in entries:
-            if time < now:
+            if not (time >= now):  # rejects past times and NaN
                 raise SimulationError(
                     f"cannot schedule in the past: t={time!r} < now={now!r}"
                 )
@@ -219,6 +224,64 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+
+    def next_event_time(self) -> float:
+        """Time of the next *live* event, or ``inf`` with an empty heap.
+
+        Cancelled entries sitting at the top are popped (they would be
+        discarded by the next run loop anyway), so the answer reflects
+        :attr:`pending_active`, not :attr:`pending`.  Used by the
+        parallel engine's conservative window negotiation.
+        """
+        heap = self._heap
+        while heap:
+            ev = heap[0][3]
+            if ev._cancelled:
+                heapq.heappop(heap)
+                ev._popped = True
+                self._cancelled_in_heap -= 1
+                continue
+            return heap[0][0]
+        return float("inf")
+
+    def run_before(self, bound: float) -> None:
+        """Fire every event with ``time < bound``, *strictly*.
+
+        Unlike ``run(until=...)`` this neither fires events at exactly
+        ``bound`` nor advances the clock to ``bound`` when the heap
+        drains early: the parallel engine runs a shard window-by-window
+        and a later window may admit events between ``now`` and the
+        previous bound.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run_before() is not reentrant")
+        self._running = True
+        fired = 0
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap:
+                entry = heap[0]
+                ev = entry[3]
+                if ev._cancelled:
+                    pop(heap)
+                    ev._popped = True
+                    self._cancelled_in_heap -= 1
+                    continue
+                if entry[0] >= bound:
+                    return
+                pop(heap)
+                ev._popped = True
+                self._now = entry[0]
+                fired += 1
+                kw = ev.kwargs
+                if kw is None:
+                    ev.fn(*ev.args)
+                else:
+                    ev.fn(*ev.args, **kw)
+        finally:
+            self._events_processed += fired
+            self._running = False
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False if the heap is empty."""

@@ -1,0 +1,482 @@
+"""Sharded conservative-lookahead parallel DES engine.
+
+One large run is partitioned across N worker processes ("shards"), each
+owning a contiguous block of *nodes* (see
+:func:`repro.network.topology.shard_nodes`) and running its own
+:class:`~repro.sim.engine.Simulator` over the full replicated runtime.
+Shards advance in lock-step **epoch windows**:
+
+1. At a barrier every shard reports its next local event time and the
+   cross-shard transfer records it buffered during the last window.
+2. The coordinator (shard 0) computes ``M``, the global minimum over
+   those times and the head-arrival times of the exchanged records,
+   and broadcasts the window bound ``W = M + delta`` where ``delta``
+   is the fabric's minimum cross-shard end-to-end latency
+   (:meth:`~repro.network.base.Fabric.min_remote_latency`).
+3. Every shard admits the records routed to it and runs all events
+   strictly below ``W``.
+
+The window is *conservative*: every event fired inside a window has
+time ``t >= M``, and any cross-shard record it creates has head
+arrival ``>= t + delta >= W`` — so no shard ever receives a record in
+its simulated past, and no rollback is ever needed.
+
+Determinism: arrivals are admitted per destination node in canonical
+``(head_arrival, dst, src, k)`` order — ``k`` a per-source-PE counter
+that is independent of the shard count — so ``--shards N`` produces
+**bit-identical** results to ``--shards 1`` (which runs in-process but
+with the same canonical admission order; the legacy no-shards path is
+untouched).  Trace event/message *ids* are process-local and therefore
+not part of that guarantee; all report content is.
+
+Cross-shard payloads travel in wire form: charm messages are re-built
+on the destination shard, CkDirect handles crossing in a message
+become sender-side *proxies* (``handle.remote``) whose puts carry the
+handle id plus a snapshot of the source buffer back to the owning
+shard's real handle.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from ..network.topology import shard_nodes
+from ..util.buffers import Buffer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..charm.runtime import Runtime
+
+
+class ParallelEngineError(RuntimeError):
+    """A sharded run violated an engine invariant (or a shard died)."""
+
+
+# ---------------------------------------------------------------------------
+# Shard-count resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve_shards(shards: Optional[int] = None) -> Optional[int]:
+    """Shard count: explicit argument, else ``REPRO_SHARDS``, else None.
+
+    ``None`` selects the untouched legacy serial engine; any integer
+    ``>= 1`` (including 1) selects engine semantics, the baseline the
+    bit-identity guarantee is stated against.
+    """
+    if shards is not None:
+        return max(1, int(shards))
+    env = os.environ.get("REPRO_SHARDS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ParallelEngineError(
+                f"REPRO_SHARDS must be an integer, got {env!r}"
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Wire codec for cross-shard records
+# ---------------------------------------------------------------------------
+
+
+class _HRef:
+    """Wire form of a CkDirect handle crossing shards (in a message).
+
+    Carries exactly what the sending side needs to build a proxy; the
+    receiver-side callback and buffer stay with the real handle on the
+    shard that created it.
+    """
+
+    __slots__ = ("hid", "recv_rank", "nbytes", "oob", "name")
+
+    def __init__(self, hid, recv_rank, nbytes, oob, name) -> None:
+        self.hid = hid
+        self.recv_rank = recv_rank
+        self.nbytes = nbytes
+        self.oob = oob
+        self.name = name
+
+
+class _CRef:
+    """Wire form of a CkCallback crossing shards (send/bcast/ignore)."""
+
+    __slots__ = ("kind", "array_id", "index", "method")
+
+    def __init__(self, kind, array_id, index, method) -> None:
+        self.kind = kind
+        self.array_id = array_id
+        self.index = index
+        self.method = method
+
+
+def _encode_args(args: tuple) -> tuple:
+    """Encode one message's argument tuple for the wire.
+
+    Only top-level arguments are translated (matching the runtime's
+    ``wrap_args`` convention); handles/callbacks nested inside user
+    containers are not supported across shards.
+    """
+    from ..charm.callback import CkCallback
+    from ..ckdirect.handle import CkDirectHandle
+
+    out = []
+    for a in args:
+        if isinstance(a, CkDirectHandle):
+            out.append(_HRef(a.hid, a.recv_pe.rank, a.recv_buffer.nbytes,
+                             a.oob, a.name))
+        elif isinstance(a, CkCallback):
+            if a.kind == "host":
+                raise ParallelEngineError(
+                    "a host-function callback cannot cross shards"
+                )
+            out.append(_CRef(a.kind, a.array.id if a.array is not None else None,
+                             a.index, a.method))
+        else:
+            out.append(a)
+    return tuple(out)
+
+
+def _decode_args(rt: "Runtime", args: tuple) -> tuple:
+    from ..charm.callback import CkCallback
+    from ..ckdirect.handle import CkDirectHandle
+
+    out = []
+    for a in args:
+        if isinstance(a, _HRef):
+            h = CkDirectHandle(
+                rt, rt.pes[a.recv_rank], Buffer.virtual(a.nbytes),
+                a.oob, CkCallback.ignore(), None, a.name,
+            )
+            h.hid = a.hid  # the owning shard's id, carried back by puts
+            h.remote = True
+            out.append(h)
+        elif isinstance(a, _CRef):
+            if a.kind == "ignore":
+                out.append(CkCallback.ignore())
+            else:
+                out.append(CkCallback(
+                    a.kind, array=rt.collective(a.array_id),
+                    index=a.index, method=a.method,
+                ))
+        else:
+            out.append(a)
+    return tuple(out)
+
+
+def encode_record(rec: tuple) -> tuple:
+    """Turn one outbox record into its picklable wire form."""
+    ha, dst, src, k, stream, occ, wire, payload = rec
+    if not isinstance(payload, tuple):
+        raise ParallelEngineError(
+            "a bare-callback transfer crossed shards; engine-mode "
+            "services must describe cross-shard arrivals"
+        )
+    kind = payload[0]
+    if kind == "msg":
+        m = payload[1]
+        payload = ("emsg", m.array_id, m.index, m.method,
+                   _encode_args(m.args), m.nbytes, m.src_pe, m.send_time,
+                   m.is_internal)
+    elif kind == "lput":
+        raise ParallelEngineError(
+            "a local-handle CkDirect put crossed shards; remote senders "
+            "must hold a proxy handle"
+        )
+    elif kind != "put":
+        raise ParallelEngineError(f"unknown descriptor kind {kind!r}")
+    return (ha, dst, src, k, stream, occ, wire, payload)
+
+
+def deliver_remote(rt: "Runtime", dst_rank: int, desc: tuple) -> None:
+    """Land one wire-form arrival on its destination PE."""
+    kind = desc[0]
+    if kind == "emsg":
+        from ..charm.message import Message
+
+        (_, array_id, index, method, enc_args, nbytes, src_pe,
+         send_time, is_internal) = desc
+        msg = Message(array_id, index, method, _decode_args(rt, enc_args),
+                      nbytes, src_pe, send_time, is_internal)
+        rt.pes[dst_rank].enqueue(msg)
+    elif kind == "put":
+        from ..ckdirect.api import _complete
+
+        _, hid, snap = desc
+        handle = rt._handles.get(hid)
+        if handle is None:
+            raise ParallelEngineError(
+                f"cross-shard put for unknown handle #{hid} on "
+                f"shard {rt.shard_id}"
+            )
+        if snap is not None:
+            handle.src_buffer = Buffer(array=snap)
+        _complete(handle)
+    else:
+        raise ParallelEngineError(f"unknown arrival descriptor {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Shard bring-up and reconciliation payloads
+# ---------------------------------------------------------------------------
+
+
+def _owned_ranks(rt: "Runtime", block: range) -> range:
+    cpn = rt.fabric.topology.cores_per_node
+    return range(block.start * cpn, min(block.stop * cpn, rt.n_pes))
+
+
+def _enter_shard(rt: "Runtime", shard_id: int, block: range) -> dict:
+    """Specialize this process to one shard; returns the baselines the
+    final reconciliation payload is measured against."""
+    rt.shard_id = shard_id
+    rt.fabric._owned_nodes = frozenset(block)
+    rt._flush_host_sends(owned_ranks=set(_owned_ranks(rt, block)))
+    base = {
+        "events": rt.sim.events_processed,
+        "counters": dict(rt.trace.counters),
+        "cpu": time.process_time(),
+        "log_len": len(rt.tracer.events) if rt.tracer is not None else 0,
+    }
+    if shard_id != 0:
+        # Children report their whole post-fork stats/samples; anything
+        # inherited from before the fork belongs to the parent's copy.
+        rt.trace.stats.clear()
+        rt.trace.samples.clear()
+    return base
+
+
+def _final_payload(rt: "Runtime", block: range, base: dict) -> dict:
+    """What a worker shard ships home after its last window."""
+    counters = {
+        name: val - base["counters"].get(name, 0)
+        for name, val in rt.trace.counters.items()
+        if val != base["counters"].get(name, 0)
+    }
+    pes = {
+        r: (rt.pes[r].busy_until, rt.pes[r].busy_time)
+        for r in _owned_ranks(rt, block)
+    }
+    states: Dict[tuple, dict] = {}
+    owned = set(_owned_ranks(rt, block))
+    for aid, arr in rt.arrays.items():
+        for idx, elem in arr.elements.items():
+            if elem._pe.rank in owned:
+                s = elem.shard_state()
+                if s is not None:
+                    states[(aid, idx)] = s
+    events = []
+    if rt.tracer is not None:
+        events = [
+            (e.eid, e.kind, e.run, e.pe, e.category, e.name, e.t0, e.t1,
+             e.cause, e.args)
+            for e in rt.tracer.events[base["log_len"]:]
+        ]
+    return {
+        "now": rt.sim.now,
+        "events_processed": rt.sim.events_processed - base["events"],
+        "counters": counters,
+        "stats": dict(rt.trace.stats),
+        "samples": {k: list(v) for k, v in rt.trace.samples.items()},
+        "pes": pes,
+        "states": states,
+        "trace_events": events,
+        "cpu": time.process_time() - base["cpu"],
+    }
+
+
+def _merge_final(rt: "Runtime", payload: dict) -> None:
+    """Fold one worker shard's reconciliation payload into the parent."""
+    rt.sim._now = max(rt.sim._now, payload["now"])
+    rt._extra_events += payload["events_processed"]
+    for name, delta in payload["counters"].items():
+        rt.trace.counters[name] += delta
+    for name, st in payload["stats"].items():
+        rt.trace.stats[name].merge(st)
+    for name, samples in payload["samples"].items():
+        rt.trace.samples[name].extend(samples)
+    for rank, (busy_until, busy_time) in payload["pes"].items():
+        rt.pes[rank].busy_until = busy_until
+        rt.pes[rank].busy_time = busy_time
+    for (aid, idx), state in payload["states"].items():
+        rt.arrays[aid].elements[idx].shard_load(state)
+    log = rt.tracer
+    if log is not None and payload["trace_events"]:
+        from ..projections.events import TraceEvent
+
+        # Post-fork eids collide across shards; remap into the parent's
+        # namespace.  A cause allocated *before* the fork already exists
+        # in the parent's log under its original id.
+        eid_map = {rec[0]: log.next_id() for rec in payload["trace_events"]}
+        for (eid, kind, run, pe, category, name, t0, t1, cause,
+             args) in payload["trace_events"]:
+            log.events.append(TraceEvent(
+                eid_map[eid], kind, run, pe, category, name, t0, t1,
+                eid_map.get(cause, cause) if cause is not None else None,
+                args,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# The epoch loop
+# ---------------------------------------------------------------------------
+
+
+def _shard_worker(rt: "Runtime", shard_id: int, block: range, conn) -> None:
+    """Worker-shard entry point (runs in a forked child)."""
+    try:
+        base = _enter_shard(rt, shard_id, block)
+        sim, fab = rt.sim, rt.fabric
+        while True:
+            outbox = [encode_record(r) for r in fab.take_outbox()]
+            conn.send(("state", sim.next_event_time(), outbox))
+            msg = conn.recv()
+            if msg[0] == "done":
+                break
+            _, bound, inbox = msg
+            for rec in inbox:
+                fab.admit_remote(rec)
+            sim.run_before(bound)
+        conn.send(("final", _final_payload(rt, block, base)))
+        conn.close()
+    except BaseException:
+        try:
+            conn.send(("error", shard_id, traceback.format_exc()))
+            conn.close()
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+        os._exit(1)
+    os._exit(0)
+
+
+def _recv(conn, shard_id: int):
+    try:
+        msg = conn.recv()
+    except EOFError:
+        raise ParallelEngineError(
+            f"shard {shard_id} died without reporting"
+        )
+    if msg[0] == "error":
+        raise ParallelEngineError(
+            f"shard {msg[1]} failed:\n{msg[2]}"
+        )
+    return msg
+
+
+def run_sharded(rt: "Runtime") -> float:
+    """Run ``rt`` to completion under the sharded engine.
+
+    Falls back to a single in-process shard (identical semantics, no
+    fork) when the topology has fewer nodes than shards were requested,
+    when events were scheduled directly on the simulator before the
+    run (their shard affinity is unknowable), when the platform has no
+    ``fork`` start method, or when the calling process is itself a
+    daemonic worker (e.g. a sweep-pool process, which may not fork
+    children of its own).
+    """
+    sim, fab = rt.sim, rt.fabric
+    topo = fab.topology
+    n = min(rt.shards or 1, topo.n_nodes)
+    if n > 1 and sim.pending_active:
+        n = 1
+    ctx = None
+    if n > 1:
+        import multiprocessing as mp
+
+        if mp.current_process().daemon:
+            n = 1
+        else:
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platform
+                n = 1
+    if n == 1:
+        rt._flush_host_sends()
+        c0 = time.process_time()
+        sim.run()
+        # One-entry critical path, measured exactly like the forked
+        # shards measure theirs (run phase only) — the speedup
+        # benchmark compares max(shard_cpu_times) across shard counts.
+        rt.shard_cpu_times = [time.process_time() - c0]
+        return sim.now
+
+    blocks = shard_nodes(topo, n)
+    delta = fab.min_remote_latency()
+    if not delta > 0.0:
+        raise ParallelEngineError(
+            f"fabric lookahead must be positive, got {delta!r}"
+        )
+    pipes = [ctx.Pipe(duplex=True) for _ in range(n - 1)]
+    procs = []
+    for s in range(1, n):
+        p = ctx.Process(
+            target=_shard_worker,
+            args=(rt, s, blocks[s], pipes[s - 1][1]),
+            daemon=True, name=f"shard{s}",
+        )
+        p.start()
+        pipes[s - 1][1].close()
+        procs.append(p)
+    conns = [pc for pc, _ in pipes]
+
+    try:
+        base = _enter_shard(rt, 0, blocks[0])
+        node_cpn = topo.cores_per_node
+        bounds = [b.stop * node_cpn for b in blocks]  # PE-rank uppers
+
+        def shard_of_rank(rank: int) -> int:
+            for s, hi in enumerate(bounds):
+                if rank < hi:
+                    return s
+            raise ParallelEngineError(f"PE {rank} outside every shard")
+
+        while True:
+            nexts = [sim.next_event_time()]
+            outboxes = [[encode_record(r) for r in fab.take_outbox()]]
+            for s, conn in enumerate(conns, start=1):
+                msg = _recv(conn, s)
+                nexts.append(msg[1])
+                outboxes.append(msg[2])
+            inboxes: List[List[tuple]] = [[] for _ in range(n)]
+            floor = min(nexts)
+            for out in outboxes:
+                for rec in out:
+                    floor = min(floor, rec[0])
+                    inboxes[shard_of_rank(rec[1])].append(rec)
+            if floor == float("inf"):
+                for conn in conns:
+                    conn.send(("done",))
+                break
+            bound = floor + delta
+            for s, conn in enumerate(conns, start=1):
+                conn.send(("window", bound, inboxes[s]))
+            for rec in inboxes[0]:
+                fab.admit_remote(rec)
+            sim.run_before(bound)
+
+        cpu = [time.process_time() - base["cpu"]]
+        for s, conn in enumerate(conns, start=1):
+            msg = _recv(conn, s)
+            if msg[0] != "final":
+                raise ParallelEngineError(
+                    f"shard {s} sent {msg[0]!r} instead of its final report"
+                )
+            _merge_final(rt, msg[1])
+            cpu.append(msg[1]["cpu"])
+        rt.shard_cpu_times = cpu
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for p in procs:
+            p.join(timeout=30.0)
+            if p.is_alive():  # pragma: no cover - hung shard
+                p.terminate()
+                p.join()
+    return sim.now

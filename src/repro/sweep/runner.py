@@ -44,6 +44,7 @@ from ..projections.eventlog import (
     uninstall_tracer,
 )
 from ..projections.events import TraceEvent
+from ..sim.parallel import resolve_shards
 from .points import point_function
 from .spec import RunResult, RunSpec
 from .stats import SweepRecord, record
@@ -181,6 +182,12 @@ class SweepRunner:
         label: str = "sweep",
     ) -> None:
         self.jobs = resolve_jobs(jobs)
+        shards = resolve_shards()
+        if shards is not None and shards > 1 and self.jobs > 1:
+            # Each point may fork `shards` engine workers of its own:
+            # scale the pool so jobs x shards stays within the
+            # requested process budget.
+            self.jobs = max(1, self.jobs // shards)
         self.timeout = _resolve_timeout(timeout)
         self.label = label
 

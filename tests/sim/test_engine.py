@@ -331,3 +331,188 @@ def test_compaction_inside_run_does_not_strand_the_loop():
     assert fired == ["after"] + list(range(40))
     assert sim.pending == 0
     assert sim.pending_active == 0
+
+
+# ---------------------------------------------------------------------------
+# NaN / negative-delay rejection (the schedule_batch parity bugfix)
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_rejects_nan_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_at_rejects_nan_time():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.at(float("nan"), lambda: None)
+
+
+def test_schedule_batch_rejects_nan_time():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([(float("nan"), lambda: None, ())])
+
+
+def test_schedule_batch_rejects_negative_time():
+    """Regression: a batch entry before ``now`` used to heap an event
+    in the past (rewinding ``now`` when it fired); it must raise
+    exactly as ``schedule``/``at`` do."""
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([(-1e-9, lambda: None, ())])
+
+
+def test_schedule_batch_rejection_is_atomic():
+    # A failed batch admits nothing: the heap and the tie-break
+    # sequence counter are exactly as before the call.
+    sim = Simulator()
+    fired = []
+    sim.at(2e-6, fired.append, "pre")
+    seq_before = sim._seq
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([(3e-6, fired.append, ("ok",)),
+                            (-1e-6, fired.append, ("bad",))])
+    assert sim.pending == 1
+    assert sim._seq == seq_before
+    sim.at(2e-6, fired.append, "post")
+    sim.run()
+    assert fired == ["pre", "post"]
+
+
+# ---------------------------------------------------------------------------
+# Parallel-engine primitives: next_event_time, run_before
+# ---------------------------------------------------------------------------
+
+
+def test_next_event_time_empty_heap_is_inf():
+    sim = Simulator()
+    assert sim.next_event_time() == float("inf")
+
+
+def test_next_event_time_skips_cancelled_tombstones():
+    sim = Simulator()
+    dead = sim.schedule(1e-6, lambda: None)
+    sim.schedule(2e-6, lambda: None)
+    dead.cancel()
+    assert sim.next_event_time() == pytest.approx(2e-6)
+    assert sim.pending_active == 1
+    sim.run()
+    assert sim.events_processed == 1
+
+
+def test_run_before_bound_is_strict():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1e-6, fired.append, "in")
+    sim.schedule(2e-6, fired.append, "at-bound")
+    sim.run_before(2e-6)
+    assert fired == ["in"]
+    assert sim.pending_active == 1
+    sim.run_before(2e-6 + 1e-9)
+    assert fired == ["in", "at-bound"]
+
+
+def test_run_before_does_not_advance_clock_to_bound():
+    # A later window may admit events between now and the old bound,
+    # so the clock must stay at the last fired event.
+    sim = Simulator()
+    sim.schedule(1e-6, lambda: None)
+    sim.run_before(5e-6)
+    assert sim.now == pytest.approx(1e-6)
+    fired = []
+    sim.at(3e-6, fired.append, "between")  # between now and the old bound
+    sim.run_before(5e-6)
+    assert fired == ["between"]
+
+
+def test_run_before_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested():
+        try:
+            sim.run_before(1.0)
+        except SimulationError as e:
+            errors.append(e)
+
+    sim.schedule(1e-6, nested)
+    sim.run_before(1.0)
+    assert len(errors) == 1
+
+
+def test_run_before_counts_events_and_skips_cancelled():
+    sim = Simulator()
+    dead = sim.schedule(1e-6, lambda: None)
+    sim.schedule(2e-6, lambda: None)
+    dead.cancel()
+    sim.run_before(3e-6)
+    assert sim.events_processed == 1
+    assert sim.pending == 0
+
+
+# ---------------------------------------------------------------------------
+# schedule_batch x priority x in-callback cancellation across _compact
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_batch_priority_orders_within_tie():
+    sim = Simulator()
+    order = []
+    sim.schedule_batch([(1e-6, order.append, ("n0",)),
+                        (1e-6, order.append, ("n1",))])
+    sim.schedule_batch([(1e-6, order.append, ("u0",)),
+                        (1e-6, order.append, ("u1",))], priority=-1)
+    sim.run()
+    assert order == ["u0", "u1", "n0", "n1"]
+
+
+def test_batch_events_survive_in_callback_compaction():
+    """Batch-admitted events (including urgent-priority ones) must
+    survive a compaction triggered from inside a callback, fire in
+    order, and honour in-callback cancellation of batch members."""
+    sim = Simulator()
+    fired = []
+    victims = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(200)]
+    batch = sim.schedule_batch(
+        [(2.0 + i * 1e-6, fired.append, (i,)) for i in range(10)]
+    )
+    urgent = sim.schedule_batch(
+        [(2.0, fired.append, ("u",))], priority=-1
+    )
+    assert urgent
+
+    def cancel_and_cull():
+        for ev in victims:  # > half the heap: compacts at least once
+            ev.cancel()
+        batch[3].cancel()   # a batch member, after the compaction
+        sim.schedule_batch([(3.0, fired.append, ("late",))])
+
+    sim.schedule(1e-6, cancel_and_cull)
+    sim.run()
+    assert fired == ["u"] + [i for i in range(10) if i != 3] + ["late"]
+    assert sim.pending == 0
+    assert sim.pending_active == 0
+
+
+def test_batch_member_cancelled_before_compaction_stays_dead():
+    # Cancel a batch member first, then trigger compaction from a
+    # callback: the tombstone must not resurrect or double-count.
+    sim = Simulator()
+    fired = []
+    batch = sim.schedule_batch(
+        [(2.0 + i * 1e-6, fired.append, (i,)) for i in range(6)], priority=-2
+    )
+    batch[0].cancel()
+    victims = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(200)]
+
+    def cull():
+        for ev in victims:
+            ev.cancel()
+
+    sim.schedule(1e-6, cull)
+    sim.run()
+    assert fired == [1, 2, 3, 4, 5]
+    assert sim.pending_active == 0
