@@ -1,0 +1,87 @@
+"""Serve throughput: cold-miss vs warm-hit requests/sec.
+
+Runs a real server (thread + asyncio loop + sockets) and pushes the
+same batch of pingpong points through it twice.  The first pass pays
+for simulation (cold misses), the second is pure cache (warm hits) —
+the ratio is the headline number of the serving story: a warm replica
+answers arbitrarily-repeated traffic at cache speed while each
+distinct point is computed exactly once.
+
+Both passes are recorded as sweep records (labels ``serve:cold-miss``
+/ ``serve:warm-hit`` with points = HTTP requests), so ``--bench-json``
+lands them in BENCH_sweeps.json next to the engine trajectory.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import ServeApp, ServeClient, ServerThread
+from repro.sweep.stats import SweepRecord, record
+
+from conftest import save_report
+
+N_POINTS = 12
+SIZES = [500 * (i + 1) for i in range(N_POINTS)]
+
+
+def _specs():
+    return [
+        {"kind": "pingpong", "machine": "Surveyor", "mode": "ckdirect",
+         "n_pes": 0, "params": {"size": s, "iterations": 5}}
+        for s in SIZES
+    ]
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    app = ServeApp(tmp_path_factory.mktemp("serve-store"),
+                   workers=2, max_queue=64)
+    srv = ServerThread(app).start()
+    yield srv
+    srv.stop()
+
+
+def test_serve_cold_vs_warm_throughput(server):
+    client = ServeClient(server.host, server.port)
+
+    t0 = time.perf_counter()
+    cold_jobs = [client.submit(s) for s in _specs()]
+    for j in cold_jobs:
+        client.wait(j["job"], deadline_s=120)
+    cold_s = time.perf_counter() - t0
+    assert not any(j["cached"] for j in cold_jobs)
+
+    t0 = time.perf_counter()
+    warm_jobs = [client.submit(s) for s in _specs()]
+    warm_s = time.perf_counter() - t0
+    assert all(j["cached"] and j["status"] == "done" for j in warm_jobs)
+
+    # Cache correctness at full batch size: payloads byte-identical.
+    for jc, jw in zip(cold_jobs, warm_jobs):
+        assert client.result(jc["job"]) == client.result(jw["job"])
+
+    m = client.metrics()
+    assert m["cache"]["hits"] == N_POINTS
+    assert m["cache"]["misses"] == N_POINTS
+    assert m["jobs"]["completed"] == N_POINTS      # each point computed once
+
+    cold_rps = N_POINTS / cold_s
+    warm_rps = N_POINTS / warm_s
+    # The whole point of the cache: warm must beat cold, comfortably.
+    assert warm_rps > 2.0 * cold_rps, (
+        f"warm-hit {warm_rps:.0f} req/s not faster than "
+        f"cold-miss {cold_rps:.0f} req/s"
+    )
+
+    record(SweepRecord(label="serve:cold-miss", jobs=2, points=N_POINTS,
+                       failed=0, wall_s=cold_s, events=0))
+    record(SweepRecord(label="serve:warm-hit", jobs=2, points=N_POINTS,
+                       failed=0, wall_s=warm_s, events=0))
+
+    save_report("serve_throughput", "\n".join([
+        "serve throughput (pingpong x %d, 2 workers)" % N_POINTS,
+        f"  cold-miss: {cold_rps:8.1f} req/s  ({cold_s * 1000:.1f} ms total)",
+        f"  warm-hit:  {warm_rps:8.1f} req/s  ({warm_s * 1000:.1f} ms total)",
+        f"  speedup:   {warm_rps / cold_rps:8.1f}x",
+    ]))

@@ -27,6 +27,17 @@ engine; reports are byte-identical to ``--shards 1``, so it too is
 purely a wall-clock knob.  When both are given, the sweep pool is
 scaled down so jobs x shards stays within the requested process
 budget.
+
+Precedence for both knobs is **flag over environment over default**:
+an explicit ``--jobs``/``--shards`` always wins (the flag is exported
+into the matching env var so indirectly-run sweeps see it too);
+``REPRO_JOBS``/``REPRO_SHARDS`` apply only when the flag is absent.
+Values below 1 or non-integer env strings are rejected with a
+one-line error, never silently clamped.
+
+``repro serve`` starts the async simulation job server (persistent
+content-addressed result cache + bounded SweepRunner pool) and
+``repro submit`` sends one point to it; see ``repro serve --help``.
 """
 
 from __future__ import annotations
@@ -67,6 +78,13 @@ ARTIFACTS = {
     "pingpong": "single pingpong measurement (pick stack/size/machine)",
     "profile": "overhead profile of one app (pick --app/--stack/--machine)",
     "list": "list the available artifacts",
+}
+
+#: Service commands with their own parsers (dispatched before the
+#: artifact parser; shown by `repro list` alongside the artifacts).
+COMMANDS = {
+    "serve": "run the async job server (content-addressed result cache)",
+    "submit": "submit one point to a running `repro serve` and fetch it",
 }
 
 
@@ -148,6 +166,12 @@ def _write_trace(log, path: str) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in COMMANDS:
+        # Service commands own their flag namespaces; hand off whole.
+        from .serve.cli import serve_main, submit_main
+
+        return {"serve": serve_main, "submit": submit_main}[argv[0]](argv[1:])
     parser = _parser()
     args = parser.parse_args(argv)
     if args.iterations is not None and args.iterations < 1:
@@ -169,9 +193,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_SHARDS"] = str(args.shards)
 
     if args.artifact == "list":
-        width = max(len(k) for k in ARTIFACTS)
-        for k in sorted(ARTIFACTS):
-            print(f"{k:<{width}}  {ARTIFACTS[k]}")
+        entries = {**ARTIFACTS, **COMMANDS}
+        width = max(len(k) for k in entries)
+        for k in sorted(entries):
+            print(f"{k:<{width}}  {entries[k]}")
         return 0
 
     if args.artifact == "profile":
@@ -204,6 +229,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         log = EventLog()
         install_tracer(log)
     try:
+        from .sim.parallel import ParallelEngineError
+        from .sweep.spec import SweepError
+
         iterations = args.iterations or 100
         if args.artifact == "pingpong":
             print(_run_pingpong(args))
@@ -240,6 +268,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                            run_backward_path_ablation):
                 print(runner()["report"])
                 print()
+    except (SweepError, ParallelEngineError) as exc:
+        # Typically malformed REPRO_JOBS / REPRO_SHARDS env values:
+        # surface the one-line message, not a deep traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        exit_code = 2
     finally:
         if log is not None:
             uninstall_tracer()

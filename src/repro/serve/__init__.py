@@ -1,0 +1,49 @@
+"""Simulation-as-a-service: async job server + content-addressed cache.
+
+PRs 2–4 made every run a deterministic pure function of its
+:class:`~repro.sweep.spec.RunSpec` — identical spec ⇒ identical result
+bytes at any ``--jobs``/``--shards``.  This package converts that
+invariant into horizontal scalability: a long-running asyncio HTTP
+server (``repro serve``) canonicalizes each request into a digest,
+serves repeats from a persistent content-addressed store, and queues
+misses onto a bounded worker pool backed by the existing
+:class:`~repro.sweep.runner.SweepRunner`.  Each distinct point is
+computed exactly once, fleet-wide.
+
+Layered as:
+
+* :mod:`~repro.serve.digest`  — job digests + the canonical result payload,
+* :mod:`~repro.serve.store`   — disk-backed LRU store, atomic writes, manifest,
+* :mod:`~repro.serve.metrics` — hit/miss/eviction counters, queue gauges,
+  per-kind latency histograms,
+* :mod:`~repro.serve.jobs`    — the async job queue: submit → poll/stream →
+  fetch, coalescing, backpressure, graceful drain,
+* :mod:`~repro.serve.app`     — the asyncio HTTP/1.1 server and routes,
+* :mod:`~repro.serve.client`  — a blocking client (``repro submit``),
+* :mod:`~repro.serve.cli`     — the ``repro serve`` / ``repro submit``
+  argument parsers and entry points.
+"""
+
+from .app import ServeApp, ServerThread
+from .client import Backpressure, ServeClient, ServeClientError
+from .digest import job_digest, result_payload
+from .jobs import Job, JobManager, JobState, QueueFullError, ServerClosing
+from .metrics import ServeMetrics
+from .store import ResultStore
+
+__all__ = [
+    "Backpressure",
+    "Job",
+    "JobManager",
+    "JobState",
+    "QueueFullError",
+    "ResultStore",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeMetrics",
+    "ServerClosing",
+    "ServerThread",
+    "job_digest",
+    "result_payload",
+]

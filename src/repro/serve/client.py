@@ -1,0 +1,146 @@
+"""Blocking HTTP client for the serve API (``repro submit``).
+
+Built on :mod:`http.client` so tests and the CLI need no extra
+dependencies.  One :class:`ServeClient` per server; each call opens a
+fresh connection (the server closes after every response).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..sweep.spec import RunSpec
+
+
+class ServeClientError(RuntimeError):
+    """Server answered with an unexpected status; carries the details."""
+
+    def __init__(self, status: int, body: Union[Dict, bytes, None]) -> None:
+        super().__init__(f"server returned {status}: {body!r}")
+        self.status = status
+        self.body = body
+
+
+class Backpressure(ServeClientError):
+    """429 from the server; ``retry_after`` seconds suggested."""
+
+    def __init__(self, body, retry_after: float) -> None:
+        super().__init__(429, body)
+        self.retry_after = retry_after
+
+
+class ServeClient:
+    """Thin wrapper over the serve HTTP API."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: Optional[Dict] = None):
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            data = resp.read()
+            return resp.status, dict(resp.getheaders()), data
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _json(data: bytes):
+        try:
+            return json.loads(data)
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+    # -- API ------------------------------------------------------------
+
+    def submit(self, specs: Union[RunSpec, Dict, Sequence]) -> Dict:
+        """Submit one spec or a list; returns the job-status JSON.
+
+        Raises :class:`Backpressure` on 429 and
+        :class:`ServeClientError` on any other non-2xx answer.
+        """
+        if isinstance(specs, (RunSpec, dict)):
+            specs = [specs]
+        wire: List[Dict] = [
+            s.to_dict() if isinstance(s, RunSpec) else s for s in specs
+        ]
+        status, headers, data = self._request("POST", "/v1/jobs", {"specs": wire})
+        body = self._json(data)
+        if status == 429:
+            retry = float(headers.get("Retry-After", 1))
+            raise Backpressure(body, retry)
+        if status not in (200, 202):
+            raise ServeClientError(status, body if body is not None else data)
+        return body
+
+    def status(self, job_id: str) -> Dict:
+        status, _h, data = self._request("GET", f"/v1/jobs/{job_id}")
+        body = self._json(data)
+        if status != 200:
+            raise ServeClientError(status, body)
+        return body
+
+    def result(self, job_id: str) -> bytes:
+        """The job's canonical payload bytes (exactly as cached)."""
+        status, _h, data = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            raise ServeClientError(status, self._json(data))
+        return data
+
+    def wait(self, job_id: str, deadline_s: float = 300.0, poll_s: float = 0.05) -> Dict:
+        """Poll until the job is terminal; returns the final status JSON."""
+        t_end = time.monotonic() + deadline_s
+        while True:
+            body = self.status(job_id)
+            if body["status"] in ("done", "failed"):
+                return body
+            if time.monotonic() >= t_end:
+                raise TimeoutError(
+                    f"job {job_id} still {body['status']} after {deadline_s:g}s"
+                )
+            time.sleep(poll_s)
+
+    def stream(self, job_id: str):
+        """Yield NDJSON progress dicts until the job is terminal."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/stream")
+            resp = conn.getresponse()
+            if resp.status != 200:
+                raise ServeClientError(resp.status, self._json(resp.read()))
+            buf = b""
+            while True:
+                chunk = resp.read1(4096) if hasattr(resp, "read1") else resp.read(4096)
+                if not chunk:
+                    break
+                buf += chunk
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            conn.close()
+
+    def metrics(self) -> Dict:
+        status, _h, data = self._request("GET", "/metrics")
+        body = self._json(data)
+        if status != 200:
+            raise ServeClientError(status, body)
+        return body
+
+    def healthy(self) -> bool:
+        try:
+            status, _h, _d = self._request("GET", "/healthz")
+        except OSError:
+            return False
+        return status == 200

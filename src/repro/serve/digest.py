@@ -1,0 +1,70 @@
+"""Job digests and the canonical result payload.
+
+A *job* is an ordered list of sweep points.  Its digest is the content
+address of its result: a sha256 over the canonical JSON of the
+per-spec digests (each already folding in
+:data:`~repro.sweep.spec.ENGINE_SCHEMA`) plus the payload-format
+version.  Two requests whose specs are structurally equal — regardless
+of JSON key order, tuple-vs-list, or any ``--jobs``/``--shards`` knob —
+therefore address the same cache entry, and an engine-schema bump
+invalidates every old entry at once.
+
+The *result payload* is what the store holds and the ``/result``
+endpoint returns: canonical JSON over the per-point outcomes with all
+nondeterministic fields (wall-clock, traces) stripped, so recomputing
+a job always reproduces the payload byte for byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+from ..sweep.spec import RunResult, RunSpec, SweepError, canonical_bytes, canonical_json
+
+#: Version of the result-payload layout itself (independent of the
+#: engine schema): bump when the JSON shape below changes.
+PAYLOAD_VERSION = 1
+
+
+def job_digest(specs: Sequence[RunSpec]) -> str:
+    """Content address of a job's result payload.
+
+    Spec order matters (the payload lists results in spec order), so
+    it is part of the digest; everything else is canonicalized away.
+    """
+    if not specs:
+        raise SweepError("a job needs at least one spec")
+    doc = {
+        "payload_version": PAYLOAD_VERSION,
+        "specs": [s.digest() for s in specs],
+    }
+    return hashlib.sha256(canonical_json(doc).encode("utf-8")).hexdigest()
+
+
+def result_payload(results: Sequence[RunResult]) -> bytes:
+    """Serialize a job's results into the canonical cacheable bytes.
+
+    Only deterministic fields are included: the spec, success flag,
+    point values, and simulator event count.  Wall-clock timings and
+    trace payloads vary run to run and are deliberately dropped —
+    the cache contract is *recompute ⇒ identical bytes*.
+
+    Failed results must not be cached (an error string can embed
+    timeouts, pids, and tracebacks); callers enforce that, and this
+    function refuses to encode them.
+    """
+    out: List[Dict] = []
+    for r in results:
+        if not r.ok:
+            raise SweepError(
+                f"refusing to build a cacheable payload from failed "
+                f"point {r.spec.label()}: {r.error.strip().splitlines()[-1] if r.error else 'unknown error'}"
+            )
+        out.append({
+            "spec": r.spec.to_dict(),
+            "ok": True,
+            "values": r.values,
+            "events": r.events,
+        })
+    return canonical_bytes({"payload_version": PAYLOAD_VERSION, "results": out})

@@ -1,0 +1,301 @@
+"""The async job queue: submit → poll/stream → fetch.
+
+:class:`JobManager` owns the full job lifecycle on one asyncio loop:
+
+* **submit** — canonicalize the request's specs into a job digest;
+  a store hit completes instantly (``cached=True``), a digest already
+  queued/running coalesces onto the in-flight job (one computation
+  serves every concurrent requester), and a genuine miss is enqueued —
+  unless the bounded queue is full, in which case
+  :class:`QueueFullError` carries a ``retry_after`` estimate for the
+  HTTP layer's 429.
+* **run** — a fixed pool of worker *tasks* pulls jobs and executes
+  their specs through the existing
+  :class:`~repro.sweep.runner.SweepRunner` in a thread executor, so
+  the event loop keeps serving status/metrics while simulations run
+  in subprocesses.  Per-point completion callbacks stream progress
+  back onto the loop.
+* **finish** — successful jobs serialize to the canonical payload and
+  are written to the content-addressed store; any failed point marks
+  the job failed and is *never* cached (error text is nondeterministic).
+* **drain** — :meth:`shutdown` stops intake, lets every accepted job
+  finish, then retires the workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sweep.runner import SweepRunner
+from ..sweep.spec import RunSpec
+from .digest import job_digest, result_payload
+from .metrics import ServeMetrics
+from .store import ResultStore
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class QueueFullError(RuntimeError):
+    """Queue at capacity; carries the 429 Retry-After estimate."""
+
+    def __init__(self, depth: int, retry_after: float) -> None:
+        super().__init__(f"job queue full ({depth} queued)")
+        self.retry_after = max(1.0, retry_after)
+
+
+class ServerClosing(RuntimeError):
+    """Submit refused because the server is draining for shutdown."""
+
+
+@dataclass
+class Job:
+    """One submitted computation (possibly shared by many requesters)."""
+
+    id: str
+    digest: str
+    specs: List[RunSpec]
+    state: JobState = JobState.QUEUED
+    cached: bool = False          # completed straight from the store
+    done_points: int = 0
+    error: str = ""
+    payload: Optional[bytes] = None
+    created: float = field(default_factory=time.monotonic)
+    finished: Optional[float] = None
+    #: bumped on every visible change; streamers wait on the condition.
+    version: int = 0
+    _cond: asyncio.Condition = field(default_factory=asyncio.Condition, repr=False)
+
+    @property
+    def total_points(self) -> int:
+        return len(self.specs)
+
+    @property
+    def kind(self) -> str:
+        """Dominant spec kind, for metrics/labels."""
+        return self.specs[0].kind if self.specs else "?"
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+    def to_dict(self) -> Dict:
+        """Status JSON for the HTTP layer."""
+        return {
+            "job": self.id,
+            "digest": self.digest,
+            "status": self.state.value,
+            "cached": self.cached,
+            "kind": self.kind,
+            "points": {"done": self.done_points, "total": self.total_points},
+            "error": self.error,
+        }
+
+    async def _bump(self) -> None:
+        async with self._cond:
+            self.version += 1
+            self._cond.notify_all()
+
+    async def wait_change(self, version: int) -> int:
+        """Block until :attr:`version` advances past ``version``."""
+        async with self._cond:
+            while self.version <= version and not self.terminal:
+                await self._cond.wait()
+            return self.version
+
+
+class JobManager:
+    """Bounded async job queue over a SweepRunner pool."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        metrics: Optional[ServeMetrics] = None,
+        *,
+        workers: int = 2,
+        max_queue: int = 32,
+        jobs_per_run: Optional[int] = None,
+        point_timeout: Optional[float] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be at least 1, got {max_queue}")
+        self.store = store
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.workers = workers
+        self.max_queue = max_queue
+        self.jobs_per_run = jobs_per_run
+        self.point_timeout = point_timeout
+        self.jobs: Dict[str, Job] = {}          # job id -> job (all ever seen)
+        self._inflight: Dict[str, Job] = {}     # digest -> queued/running job
+        self._queue: "asyncio.Queue[Optional[Job]]" = asyncio.Queue()
+        self._queued = 0                        # jobs accepted but not started
+        self._running = 0
+        self._tasks: List[asyncio.Task] = []
+        self._closing = False
+        self._ids = itertools.count(1)
+        #: EWMA of recent job wall-times, seeds the Retry-After estimate.
+        self._avg_job_s = 1.0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        if self._tasks:
+            return
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.workers)
+        ]
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop intake; drain accepted jobs (or cancel), retire workers."""
+        self._closing = True
+        if not drain:
+            for t in self._tasks:
+                t.cancel()
+        else:
+            for _ in self._tasks:
+                self._queue.put_nowait(None)  # one poison pill per worker
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    def gauges(self) -> Dict:
+        """Queue-state snapshot for /metrics."""
+        return {
+            "depth": self._queued,
+            "running": self._running,
+            "workers": self.workers,
+            "max_queue": self.max_queue,
+            "closing": self._closing,
+        }
+
+    # -- submit ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def submit(self, specs: Sequence[RunSpec]) -> Job:
+        """Accept a job (hit, coalesce, or enqueue) or raise backpressure.
+
+        Synchronous on purpose: every path is O(1) apart from one
+        store read, so the HTTP handler can answer without yielding.
+        """
+        if self._closing:
+            raise ServerClosing("server is draining; not accepting jobs")
+        specs = list(specs)
+        digest = job_digest(specs)
+
+        inflight = self._inflight.get(digest)
+        if inflight is not None:
+            self.metrics.coalesced += 1
+            return inflight
+
+        payload = self.store.get(digest)
+        if payload is not None:
+            self.metrics.hits += 1
+            self.metrics.submitted += 1
+            job = Job(
+                id=f"j{next(self._ids):06d}", digest=digest, specs=specs,
+                state=JobState.DONE, cached=True, payload=payload,
+                done_points=len(specs), finished=time.monotonic(),
+            )
+            self.jobs[job.id] = job
+            return job
+
+        if self._queued >= self.max_queue:
+            self.metrics.rejected += 1
+            # Jobs ahead of us, spread over the pool, at the recent
+            # average job duration: a coarse but honest estimate.
+            backlog = self._queued + self._running
+            raise QueueFullError(
+                self._queued,
+                retry_after=self._avg_job_s * backlog / self.workers,
+            )
+
+        self.metrics.misses += 1
+        self.metrics.submitted += 1
+        job = Job(id=f"j{next(self._ids):06d}", digest=digest, specs=specs)
+        self.jobs[job.id] = job
+        self._inflight[digest] = job
+        self._queued += 1
+        self._queue.put_nowait(job)
+        return job
+
+    # -- execution ------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job is None:  # poison pill: drain complete
+                return
+            self._queued -= 1
+            self._running += 1
+            try:
+                await self._execute(job)
+            finally:
+                self._running -= 1
+                self._inflight.pop(job.digest, None)
+
+    async def _execute(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        job.state = JobState.RUNNING
+        await job._bump()
+        t0 = time.monotonic()
+
+        def _on_point(res) -> None:
+            # Runs on the executor thread: hop back onto the loop.
+            def _advance() -> None:
+                job.done_points += 1
+                asyncio.ensure_future(job._bump())
+            try:
+                loop.call_soon_threadsafe(_advance)
+            except RuntimeError:
+                pass  # loop already closed during teardown
+
+        runner = SweepRunner(
+            jobs=self.jobs_per_run,
+            timeout=self.point_timeout,
+            label=f"serve:{job.kind}",
+        )
+        try:
+            results = await loop.run_in_executor(
+                None, lambda: runner.run(job.specs, progress=_on_point)
+            )
+        except Exception as exc:  # runner-level failure (not a point failure)
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        else:
+            failed = [r for r in results if not r.ok]
+            if failed:
+                job.state = JobState.FAILED
+                job.error = "; ".join(
+                    f"{r.spec.label()}: {r.error.strip().splitlines()[-1]}"
+                    for r in failed[:3]
+                )
+            else:
+                payload = result_payload(results)
+                self.store.put(job.digest, payload)
+                job.payload = payload
+                job.state = JobState.DONE
+
+        wall = time.monotonic() - t0
+        self._avg_job_s = 0.7 * self._avg_job_s + 0.3 * wall
+        job.done_points = job.total_points if job.state == JobState.DONE else job.done_points
+        job.finished = time.monotonic()
+        if job.state == JobState.DONE:
+            self.metrics.completed += 1
+        else:
+            self.metrics.failed += 1
+        self.metrics.observe_latency(job.kind, "miss", wall)
+        await job._bump()

@@ -1,0 +1,177 @@
+"""Disk-backed content-addressed result store with an LRU size cap.
+
+Layout under the store root::
+
+    objects/<digest[:2]>/<digest>     # one file per cached payload
+
+Writes are atomic (tmp file + ``os.replace`` in the same directory),
+so a crashed server never leaves a truncated object — readers either
+see the full payload or nothing.  Recency is tracked in memory and
+persisted opportunistically via file mtimes, so a reopened store
+rebuilds a sensible LRU order from disk.
+
+The cap is enforced on insert: after a put, least-recently-used
+objects are dropped until total bytes fit (the entry just written is
+never evicted, even if it alone exceeds the cap — one oversized
+result beats a store that can never hold it).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_HEX = set("0123456789abcdef")
+
+
+class StoreError(RuntimeError):
+    """Raised for malformed digests or store misuse."""
+
+
+def _check_digest(digest: str) -> str:
+    if not isinstance(digest, str) or len(digest) != 64 or set(digest) - _HEX:
+        raise StoreError(f"not a sha256 hex digest: {digest!r}")
+    return digest
+
+
+class ResultStore:
+    """Content-addressed payload store: ``digest -> bytes`` on disk."""
+
+    def __init__(self, root: os.PathLike, max_bytes: Optional[int] = None) -> None:
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.objects.mkdir(parents=True, exist_ok=True)
+        if max_bytes is not None and max_bytes <= 0:
+            raise StoreError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.evictions = 0
+        self._lock = threading.Lock()
+        #: digest -> size, in LRU order (first = coldest).
+        self._index: "OrderedDict[str, int]" = OrderedDict()
+        self._scan()
+
+    # -- internals ------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.objects / digest[:2] / digest
+
+    def _scan(self) -> None:
+        """Rebuild the index from disk, ordered by mtime (oldest first)."""
+        found = []
+        for shard in self.objects.iterdir() if self.objects.exists() else []:
+            if not shard.is_dir():
+                continue
+            for obj in shard.iterdir():
+                name = obj.name
+                if len(name) == 64 and not (set(name) - _HEX):
+                    try:
+                        st = obj.stat()
+                    except OSError:
+                        continue
+                    found.append((st.st_mtime, name, st.st_size))
+        found.sort()
+        for _mtime, name, size in found:
+            self._index[name] = size
+
+    def _touch(self, digest: str) -> None:
+        self._index.move_to_end(digest)
+        try:
+            os.utime(self._path(digest))
+        except OSError:
+            pass  # recency persistence is best-effort
+
+    def _evict_to_fit(self, protect: str) -> None:
+        if self.max_bytes is None:
+            return
+        while self.total_bytes > self.max_bytes and len(self._index) > 1:
+            coldest = next(iter(self._index))
+            if coldest == protect:
+                break
+            self._index.pop(coldest)
+            try:
+                self._path(coldest).unlink()
+            except OSError:
+                pass
+            self.evictions += 1
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self._index.values())
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return _check_digest(digest) in self._index
+
+    def get(self, digest: str) -> Optional[bytes]:
+        """The payload for ``digest``, or None; a hit refreshes recency."""
+        _check_digest(digest)
+        with self._lock:
+            if digest not in self._index:
+                return None
+            try:
+                data = self._path(digest).read_bytes()
+            except OSError:
+                # File vanished under us (external cleanup): drop the entry.
+                self._index.pop(digest, None)
+                return None
+            self._touch(digest)
+            return data
+
+    def put(self, digest: str, payload: bytes) -> None:
+        """Store ``payload`` under ``digest`` atomically; evict LRU to fit.
+
+        Re-putting an existing digest is a no-op apart from a recency
+        refresh — content-addressed entries never change.
+        """
+        _check_digest(digest)
+        if not isinstance(payload, (bytes, bytearray)):
+            raise StoreError("payload must be bytes")
+        with self._lock:
+            if digest in self._index:
+                self._touch(digest)
+                return
+            path = self._path(digest)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self._index[digest] = len(payload)
+            self._evict_to_fit(protect=digest)
+
+    def manifest(self) -> Dict:
+        """JSON-ready store inventory (coldest entry first)."""
+        with self._lock:
+            entries: List[Dict] = [
+                {"digest": d, "bytes": size} for d, size in self._index.items()
+            ]
+            return {
+                "root": str(self.root),
+                "objects": len(entries),
+                "total_bytes": self.total_bytes,
+                "max_bytes": self.max_bytes,
+                "evictions": self.evictions,
+                "entries": entries,
+            }
+
+    def write_manifest(self, path: os.PathLike) -> None:
+        """Write :meth:`manifest` as indented JSON (CI artifact helper)."""
+        import json
+
+        Path(path).write_text(json.dumps(self.manifest(), indent=2) + "\n")

@@ -65,17 +65,32 @@ def resolve_shards(shards: Optional[int] = None) -> Optional[int]:
     ``None`` selects the untouched legacy serial engine; any integer
     ``>= 1`` (including 1) selects engine semantics, the baseline the
     bit-identity guarantee is stated against.
+
+    Precedence is *flag over environment over default* (matching
+    :func:`repro.sweep.runner.resolve_jobs`): an explicit ``shards``
+    argument (the ``--shards`` flag) wins; ``REPRO_SHARDS`` applies
+    only when no argument is given.  Values below 1 or non-integer
+    env strings raise :class:`ParallelEngineError` rather than being
+    silently clamped.
     """
     if shards is not None:
-        return max(1, int(shards))
+        shards = int(shards)
+        if shards < 1:
+            raise ParallelEngineError(f"shards must be at least 1, got {shards}")
+        return shards
     env = os.environ.get("REPRO_SHARDS", "").strip()
     if env:
         try:
-            return max(1, int(env))
+            val = int(env)
         except ValueError:
             raise ParallelEngineError(
-                f"REPRO_SHARDS must be an integer, got {env!r}"
+                f"REPRO_SHARDS must be a positive integer, got {env!r}"
+            ) from None
+        if val < 1:
+            raise ParallelEngineError(
+                f"REPRO_SHARDS must be at least 1, got {val}"
             )
+        return val
     return None
 
 

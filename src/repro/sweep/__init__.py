@@ -19,12 +19,23 @@ Layered as:
 from . import stats
 from .points import POINTS, point_function, register_point
 from .runner import DEFAULT_TIMEOUT, SweepRunner, execute_spec, resolve_jobs, run_sweep
-from .spec import RunResult, RunSpec, SweepError, machine_overrides
+from .spec import (
+    ENGINE_SCHEMA,
+    RunResult,
+    RunSpec,
+    SweepError,
+    canonical_bytes,
+    canonical_json,
+    machine_overrides,
+)
 from .stats import SweepRecord
 
 __all__ = [
     "DEFAULT_TIMEOUT",
+    "ENGINE_SCHEMA",
     "POINTS",
+    "canonical_bytes",
+    "canonical_json",
     "RunResult",
     "RunSpec",
     "SweepError",

@@ -35,7 +35,7 @@ import time
 import traceback
 from collections import deque
 from multiprocessing import connection as mp_connection
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..projections.eventlog import (
     EventLog,
@@ -46,7 +46,7 @@ from ..projections.eventlog import (
 from ..projections.events import TraceEvent
 from ..sim.parallel import resolve_shards
 from .points import point_function
-from .spec import RunResult, RunSpec
+from .spec import RunResult, RunSpec, SweepError
 from .stats import SweepRecord, record
 
 #: Default per-point timeout (seconds); REPRO_SWEEP_TIMEOUT overrides.
@@ -57,15 +57,31 @@ _POLL_S = 0.05
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument, else REPRO_JOBS, else 1."""
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1.
+
+    Precedence is *flag over environment over default*: an explicit
+    ``jobs`` argument (the ``--jobs`` flag) always wins; ``REPRO_JOBS``
+    applies only when no argument is given; absent both, sweeps run
+    serially.  Invalid values — anything that is not an integer >= 1 —
+    raise :class:`SweepError` with a one-line message rather than
+    being silently clamped or ignored.
+    """
     if jobs is not None:
-        return max(1, int(jobs))
+        jobs = int(jobs)
+        if jobs < 1:
+            raise SweepError(f"jobs must be at least 1, got {jobs}")
+        return jobs
     env = os.environ.get("REPRO_JOBS", "").strip()
     if env:
         try:
-            return max(1, int(env))
+            val = int(env)
         except ValueError:
-            pass
+            raise SweepError(
+                f"REPRO_JOBS must be a positive integer, got {env!r}"
+            ) from None
+        if val < 1:
+            raise SweepError(f"REPRO_JOBS must be at least 1, got {val}")
+        return val
     return 1
 
 
@@ -191,15 +207,31 @@ class SweepRunner:
         self.timeout = _resolve_timeout(timeout)
         self.label = label
 
-    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
-        """Execute every spec; results ordered exactly like ``specs``."""
+    def run(
+        self,
+        specs: Sequence[RunSpec],
+        progress: Optional[Callable[[RunResult], None]] = None,
+    ) -> List[RunResult]:
+        """Execute every spec; results ordered exactly like ``specs``.
+
+        ``progress``, when given, is invoked once per point as it
+        finishes — in *completion* order on the parallel path (the
+        returned list stays in spec order regardless).  The serve
+        layer uses this for per-job progress streaming; callbacks run
+        on the supervising thread and must not raise.
+        """
         specs = list(specs)
         t0 = time.perf_counter()
         if self.jobs <= 1 or len(specs) <= 1:
-            results = [execute_spec(s) for s in specs]
+            results = []
+            for s in specs:
+                r = execute_spec(s)
+                results.append(r)
+                if progress is not None:
+                    progress(r)
             jobs_used = 1
         else:
-            results = self._run_parallel(specs)
+            results = self._run_parallel(specs, progress)
             jobs_used = self.jobs
         wall = time.perf_counter() - t0
         record(SweepRecord(
@@ -220,13 +252,22 @@ class SweepRunner:
     # Parallel path
     # ------------------------------------------------------------------
 
-    def _run_parallel(self, specs: List[RunSpec]) -> List[RunResult]:
+    def _run_parallel(
+        self,
+        specs: List[RunSpec],
+        progress: Optional[Callable[[RunResult], None]] = None,
+    ) -> List[RunResult]:
         ctx = _mp_context()
         tracer = current_tracer()
         trace = tracer is not None
         results: List[Optional[RunResult]] = [None] * len(specs)
         todo = deque(enumerate(specs))
         active: Dict[object, tuple] = {}  # conn -> (idx, proc, deadline)
+
+        def _finish(idx: int, res: RunResult) -> None:
+            results[idx] = res
+            if progress is not None:
+                progress(res)
 
         try:
             while todo or active:
@@ -261,7 +302,7 @@ class SweepRunner:
                         )
                     conn.close()
                     proc.join()
-                    results[idx] = res
+                    _finish(idx, res)
 
                 now = time.monotonic()
                 for conn, (idx, proc, deadline) in list(active.items()):
@@ -270,11 +311,11 @@ class SweepRunner:
                         proc.join()
                         conn.close()
                         del active[conn]
-                        results[idx] = RunResult(
+                        _finish(idx, RunResult(
                             specs[idx], ok=False,
                             error=f"sweep point {specs[idx].label()} timed "
                                   f"out after {self.timeout:g}s",
-                        )
+                        ))
         finally:
             # Supervisor interrupted: reap whatever is still running.
             for conn, (idx, proc, _d) in active.items():

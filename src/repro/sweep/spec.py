@@ -20,14 +20,88 @@ timing / trace payloads.  A failed point carries its traceback in
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Tuple
 
 from ..network.params import MACHINES, MachineParams
 
+#: Engine-schema version folded into every :meth:`RunSpec.digest`.
+#:
+#: The content-addressed result cache assumes *identical spec ⇒
+#: identical result bytes*.  That holds across ``--jobs`` / ``--shards``
+#: (both are wall-clock knobs) but NOT across engine changes: any PR
+#: that alters simulated timings, event ordering, point values, or the
+#: canonical result payload must bump this constant, which changes
+#: every digest and cleanly invalidates all previously cached results.
+ENGINE_SCHEMA = 1
+
 
 class SweepError(RuntimeError):
     """Raised for sweep misuse or failed sweep points."""
+
+
+def _canon(obj: Any) -> Any:
+    """Normalize a value for canonical JSON encoding.
+
+    Dicts must have string keys; tuples become lists; numpy scalars
+    collapse to their exact Python ``int``/``float``/``bool`` values.
+    Anything else (objects, sets, NaN later via ``allow_nan=False``)
+    is rejected — a digest over unstable input is worse than an error.
+    """
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise SweepError(
+                    f"canonical encoding requires string keys, got {k!r}"
+                )
+            out[k] = _canon(v)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, bool) or obj is None:
+        return obj
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, int):
+        return int(obj)
+    if isinstance(obj, float):
+        return float(obj)
+    # numpy scalars (np.int64, np.float64, np.bool_) expose item();
+    # checked lazily so this module stays importable without numpy.
+    item = getattr(obj, "item", None)
+    if callable(item):
+        got = item()
+        if isinstance(got, (bool, int, float, str)):
+            return _canon(got)
+    raise SweepError(
+        f"value {obj!r} of type {type(obj).__name__} cannot be "
+        "canonically encoded (use plain ints/floats/strings/lists/dicts)"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON: sorted keys, minimal separators, ASCII, no NaN.
+
+    Two structurally equal inputs (regardless of dict insertion order
+    or tuple-vs-list) always produce the same string — the property
+    both :meth:`RunSpec.digest` and the serve layer's cached result
+    payloads rest on.
+    """
+    return json.dumps(
+        _canon(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def canonical_bytes(obj: Any) -> bytes:
+    """:func:`canonical_json` encoded as UTF-8 bytes."""
+    return canonical_json(obj).encode("utf-8")
 
 
 @dataclass(frozen=True, order=True)
@@ -61,6 +135,65 @@ class RunSpec:
     def key(self) -> tuple:
         """The deterministic merge key (the full identifying tuple)."""
         return (self.kind, self.machine, self.mode, self.n_pes, self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON form (the serve API's wire representation)."""
+        return {
+            "kind": self.kind,
+            "machine": self.machine,
+            "mode": self.mode,
+            "n_pes": self.n_pes,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunSpec":
+        """Parse the wire form back into a normalized spec.
+
+        Validates shape strictly (the serve layer feeds this untrusted
+        request bodies); unknown keys, non-string identifiers, and
+        non-dict params are all rejected with :class:`SweepError`.
+        """
+        if not isinstance(d, dict):
+            raise SweepError(f"spec must be an object, got {type(d).__name__}")
+        unknown = set(d) - {"kind", "machine", "mode", "n_pes", "params"}
+        if unknown:
+            raise SweepError(f"unknown spec fields: {sorted(unknown)}")
+        kind = d.get("kind")
+        machine = d.get("machine")
+        if not isinstance(kind, str) or not kind:
+            raise SweepError("spec requires a non-empty string 'kind'")
+        if not isinstance(machine, str) or not machine:
+            raise SweepError("spec requires a non-empty string 'machine'")
+        mode = d.get("mode", "")
+        if not isinstance(mode, str):
+            raise SweepError("spec 'mode' must be a string")
+        n_pes = d.get("n_pes", 0)
+        if isinstance(n_pes, bool) or not isinstance(n_pes, int) or n_pes < 0:
+            raise SweepError("spec 'n_pes' must be a non-negative integer")
+        params = d.get("params", {})
+        if not isinstance(params, dict):
+            raise SweepError("spec 'params' must be an object")
+        return cls.make(kind, machine, mode, n_pes, **params)
+
+    def digest(self) -> str:
+        """Stable content address of this point's *result*.
+
+        The digest hashes the canonical JSON of the spec fields plus
+        :data:`ENGINE_SCHEMA`.  It is therefore
+
+        * independent of ``params`` insertion order (params are sorted
+          both by :meth:`make` and by canonical encoding),
+        * independent of ``--jobs`` / ``--shards`` / env knobs (none of
+          those are spec fields — they are wall-clock knobs that the
+          sweep determinism guarantee proves do not change result
+          bytes), and
+        * versioned: bumping :data:`ENGINE_SCHEMA` changes every
+          digest, so a cache can never serve results computed by an
+          older engine.
+        """
+        payload = canonical_json({"schema": ENGINE_SCHEMA, "spec": self.to_dict()})
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     def label(self) -> str:
         """Compact human-readable form for progress/error messages."""

@@ -123,3 +123,82 @@ def test_trace_out_multi_run_artifact(tmp_path):
 def test_nonpositive_iterations_rejected():
     with pytest.raises(SystemExit):
         main(["pingpong", "--iterations", "0"])
+
+
+def test_nonpositive_jobs_and_shards_flags_rejected():
+    for flag in ("--jobs", "--shards"):
+        for bad in ("0", "-2"):
+            with pytest.raises(SystemExit):
+                main(["table1", flag, bad])
+
+
+def test_malformed_jobs_env_is_clear_error(monkeypatch, capsys):
+    """Garbage REPRO_JOBS gives a one-line error, not a traceback."""
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    assert main(["table1", "--iterations", "5"]) == 2
+    err = capsys.readouterr().err
+    assert "REPRO_JOBS must be a positive integer" in err
+    assert "Traceback" not in err
+
+
+def test_malformed_shards_env_is_clear_error(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SHARDS", "lots")
+    assert main(["fig2a", "--pes", "8"]) == 2
+    err = capsys.readouterr().err
+    assert "REPRO_SHARDS must be a positive integer" in err
+    assert "Traceback" not in err
+
+
+def test_negative_jobs_env_is_clear_error(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "-1")
+    assert main(["table1", "--iterations", "5"]) == 2
+    assert "at least 1" in capsys.readouterr().err
+
+
+def test_jobs_flag_overrides_env(monkeypatch, capsys):
+    """Documented precedence: flag > env > default."""
+    monkeypatch.setenv("REPRO_JOBS", "junk-value")
+    # The flag re-exports a valid REPRO_JOBS, so the run succeeds.
+    assert main(["table1", "--iterations", "5", "--jobs", "2"]) == 0
+    assert "CkDirect CHARM++ (ours)" in capsys.readouterr().out
+
+
+def test_list_includes_service_commands(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "serve" in out and "submit" in out
+
+
+def test_serve_flag_validation():
+    from repro.serve.cli import serve_main
+
+    assert serve_main(["--workers", "0"]) == 2
+    assert serve_main(["--queue", "0"]) == 2
+    assert serve_main(["--cache-mb", "0"]) == 2
+    assert serve_main(["--jobs-per-run", "0"]) == 2
+    assert serve_main(["--port", "-1"]) == 2
+
+
+def test_submit_requires_kind_or_spec_json():
+    from repro.serve.cli import submit_main
+
+    with pytest.raises(SystemExit):
+        submit_main([])
+    with pytest.raises(SystemExit):
+        submit_main(["--kind", "pingpong", "--spec-json", "x.json"])
+
+
+def test_submit_bad_param_rejected(capsys):
+    from repro.serve.cli import submit_main
+
+    assert submit_main(["--kind", "pingpong", "--param", "noequals"]) == 2
+    assert "--param needs K=V" in capsys.readouterr().err
+
+
+def test_submit_unreachable_server(capsys):
+    from repro.serve.cli import submit_main
+
+    # Port 1 is never listening; expect a clean error, not a traceback.
+    assert submit_main(["--kind", "pingpong", "--port", "1",
+                        "--param", "size=100"]) == 2
+    assert "cannot reach server" in capsys.readouterr().err

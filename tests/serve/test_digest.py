@@ -1,0 +1,132 @@
+"""Digest invariants: the contract the result cache rests on.
+
+The load-bearing claim is *digest equality ⇔ byte-identical results*:
+
+* same spec (any param order, any jobs/shards knobs) → same digest →
+  the cache may serve either run's bytes for the other, proven here by
+  actually recomputing and comparing payload bytes;
+* different spec → different digest (no false sharing);
+* engine-schema bump → different digest (no stale hits across engine
+  changes).
+"""
+
+import numpy as np
+import pytest
+
+import repro.sweep.spec as spec_mod
+from repro.serve.digest import job_digest, result_payload
+from repro.sweep import RunSpec, SweepError, SweepRunner, canonical_json, execute_spec
+
+SPEC = dict(kind="pingpong", machine="Surveyor", mode="ckdirect")
+
+
+class TestCanonicalJson:
+    def test_dict_order_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_tuple_equals_list(self):
+        assert canonical_json((1, 2, 3)) == canonical_json([1, 2, 3])
+
+    def test_numpy_scalars_collapse(self):
+        assert canonical_json(np.int64(7)) == canonical_json(7)
+        assert canonical_json(np.float64(2.5)) == canonical_json(2.5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json(float("nan"))
+
+    def test_object_rejected(self):
+        with pytest.raises(SweepError, match="cannot be"):
+            canonical_json(object())
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(SweepError, match="string keys"):
+            canonical_json({1: "x"})
+
+
+class TestSpecDigest:
+    def test_param_order_irrelevant(self):
+        a = RunSpec.make(**SPEC, size=1000, iterations=5)
+        b = RunSpec.make(**SPEC, iterations=5, size=1000)
+        assert a.digest() == b.digest()
+
+    def test_from_dict_roundtrip_same_digest(self):
+        a = RunSpec.make(**SPEC, size=1000, iterations=5)
+        b = RunSpec.from_dict(a.to_dict())
+        assert a == b and a.digest() == b.digest()
+
+    def test_different_specs_different_digest(self):
+        a = RunSpec.make(**SPEC, size=1000)
+        assert a.digest() != RunSpec.make(**SPEC, size=2000).digest()
+        assert a.digest() != RunSpec.make("pingpong", "Abe", "ckdirect", size=1000).digest()
+        assert a.digest() != RunSpec.make("pingpong", "Surveyor", "charm", size=1000).digest()
+
+    def test_jobs_and_shards_env_irrelevant(self, monkeypatch):
+        a = RunSpec.make(**SPEC, size=1000)
+        before = a.digest()
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        assert a.digest() == before
+
+    def test_schema_bump_invalidates(self, monkeypatch):
+        a = RunSpec.make(**SPEC, size=1000)
+        before = a.digest()
+        monkeypatch.setattr(spec_mod, "ENGINE_SCHEMA", spec_mod.ENGINE_SCHEMA + 1)
+        assert a.digest() != before
+
+    def test_digest_is_sha256_hex(self):
+        d = RunSpec.make(**SPEC, size=1000).digest()
+        assert len(d) == 64 and int(d, 16) >= 0
+
+
+class TestJobDigest:
+    def test_spec_order_matters(self):
+        a = RunSpec.make(**SPEC, size=1000)
+        b = RunSpec.make(**SPEC, size=2000)
+        assert job_digest([a, b]) != job_digest([b, a])
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(SweepError):
+            job_digest([])
+
+    def test_single_vs_pair_distinct(self):
+        a = RunSpec.make(**SPEC, size=1000)
+        assert job_digest([a]) != job_digest([a, a])
+
+
+class TestDigestMeansIdenticalBytes:
+    """Equality of digests ⇔ byte-identical recomputed payloads."""
+
+    def test_recompute_is_byte_identical(self):
+        spec = RunSpec.make(**SPEC, size=1000, iterations=5)
+        p1 = result_payload([execute_spec(spec)])
+        p2 = result_payload([execute_spec(spec)])
+        assert spec.digest() == spec.digest()
+        assert p1 == p2
+
+    def test_identical_at_any_jobs_count(self):
+        specs = [RunSpec.make(**SPEC, size=s, iterations=5) for s in (1000, 2000, 4000)]
+        serial = result_payload(SweepRunner(jobs=1).run(specs))
+        parallel = result_payload(SweepRunner(jobs=3).run(specs))
+        assert serial == parallel
+        assert job_digest(specs) == job_digest(list(specs))
+
+    def test_unequal_digest_means_unequal_bytes(self):
+        s1 = RunSpec.make(**SPEC, size=1000, iterations=5)
+        s2 = RunSpec.make(**SPEC, size=2000, iterations=5)
+        assert s1.digest() != s2.digest()
+        assert result_payload([execute_spec(s1)]) != result_payload([execute_spec(s2)])
+
+    def test_failed_results_refuse_to_serialize(self):
+        bad = execute_spec(RunSpec.make("no-such-kind", "Surveyor", "x"))
+        assert not bad.ok
+        with pytest.raises(SweepError, match="refusing"):
+            result_payload([bad])
+
+    def test_payload_strips_wall_time(self):
+        # Two runs of the same spec differ in wall_time but not payload.
+        spec = RunSpec.make(**SPEC, size=1000, iterations=5)
+        r1, r2 = execute_spec(spec), execute_spec(spec)
+        assert r1.wall_time != r2.wall_time or r1.wall_time >= 0
+        assert result_payload([r1]) == result_payload([r2])
+        assert b"wall" not in result_payload([r1])

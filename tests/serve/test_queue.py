@@ -1,0 +1,196 @@
+"""JobManager lifecycle: hit/coalesce/enqueue, backpressure, drain.
+
+Synthetic point kinds keep these fast; they run through the real
+SweepRunner (serial in-executor for speed — the forked-worker paths
+are covered in test_runner_reuse.py).
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.jobs import JobManager, JobState, QueueFullError, ServerClosing
+from repro.serve.metrics import ServeMetrics
+from repro.serve.store import ResultStore
+from repro.sweep import RunSpec, register_point
+
+
+@register_point("q-echo")
+def _echo(spec):
+    return {"x": dict(spec.params)["x"], "events": 3}
+
+
+@register_point("q-sleep")
+def _sleep(spec):
+    time.sleep(dict(spec.params).get("delay", 0.05))
+    return {"x": dict(spec.params)["x"], "events": 1}
+
+
+@register_point("q-fail")
+def _fail(spec):
+    raise ValueError("queue point exploded on purpose")
+
+
+def spec_of(kind, x, **kw):
+    return RunSpec.make(kind, "Abe", "m", x=x, **kw)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _manager(tmp_path, **kw):
+    kw.setdefault("workers", 1)
+    kw.setdefault("max_queue", 4)
+    mgr = JobManager(ResultStore(tmp_path / "store"), ServeMetrics(), **kw)
+    await mgr.start()
+    return mgr
+
+
+async def _wait_done(mgr, job, deadline=10.0):
+    t_end = time.monotonic() + deadline
+    version = -1
+    while not job.terminal:
+        if time.monotonic() >= t_end:
+            raise TimeoutError(f"job {job.id} stuck in {job.state}")
+        version = await asyncio.wait_for(
+            job.wait_change(version if version >= 0 else 0), deadline
+        )
+    return job
+
+
+class TestSubmit:
+    def test_miss_then_hit(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path)
+            j1 = mgr.submit([spec_of("q-echo", 1)])
+            assert j1.state == JobState.QUEUED and not j1.cached
+            await _wait_done(mgr, j1)
+            assert j1.state == JobState.DONE and j1.payload
+
+            j2 = mgr.submit([spec_of("q-echo", 1)])
+            assert j2.cached and j2.state == JobState.DONE
+            assert j2.payload == j1.payload          # byte-identical
+            assert j2.id != j1.id
+            assert mgr.metrics.hits == 1 and mgr.metrics.misses == 1
+            assert mgr.metrics.completed == 1        # computed exactly once
+            await mgr.shutdown()
+        run(main())
+
+    def test_concurrent_submits_coalesce(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path)
+            j1 = mgr.submit([spec_of("q-sleep", 1, delay=0.2)])
+            j2 = mgr.submit([spec_of("q-sleep", 1, delay=0.2)])
+            assert j2 is j1                          # one computation, two callers
+            assert mgr.metrics.coalesced == 1
+            await _wait_done(mgr, j1)
+            assert mgr.metrics.completed == 1
+            await mgr.shutdown()
+        run(main())
+
+    def test_failed_point_fails_job_and_is_not_cached(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path)
+            j = mgr.submit([spec_of("q-fail", 1)])
+            await _wait_done(mgr, j)
+            assert j.state == JobState.FAILED
+            assert "exploded" in j.error
+            assert j.payload is None
+            assert len(mgr.store) == 0               # failures never cached
+            # Resubmitting retries instead of hitting a poisoned cache.
+            j2 = mgr.submit([spec_of("q-fail", 1)])
+            assert not j2.cached
+            await _wait_done(mgr, j2)
+            assert mgr.metrics.failed == 2
+            await mgr.shutdown()
+        run(main())
+
+    def test_progress_advances_per_point(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path)
+            specs = [spec_of("q-sleep", i, delay=0.03) for i in range(4)]
+            j = mgr.submit(specs)
+            seen = set()
+            version = -1
+            while not j.terminal:
+                seen.add(j.done_points)
+                version = await j.wait_change(version if version >= 0 else 0)
+            assert j.done_points == 4
+            assert len(seen) >= 2                    # observed intermediate progress
+            await mgr.shutdown()
+        run(main())
+
+
+class TestBackpressure:
+    def test_queue_full_raises_with_retry_after(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path, workers=1, max_queue=2)
+            jobs = [mgr.submit([spec_of("q-sleep", 0, delay=0.3)])]
+            await asyncio.sleep(0.05)  # let the worker claim job 0
+            jobs += [mgr.submit([spec_of("q-sleep", i, delay=0.3)]) for i in (1, 2)]
+            with pytest.raises(QueueFullError) as exc:
+                # Worker holds one job; two sit queued; the next must bounce.
+                mgr.submit([spec_of("q-sleep", 99, delay=0.3)])
+            assert exc.value.retry_after >= 1.0
+            assert mgr.metrics.rejected == 1
+            for j in jobs:
+                await _wait_done(mgr, j)
+            await mgr.shutdown()
+        run(main())
+
+    def test_queue_reopens_after_drain(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path, workers=1, max_queue=1)
+            j1 = mgr.submit([spec_of("q-sleep", 1, delay=0.1)])
+            await asyncio.sleep(0.05)  # worker claims j1, queue frees
+            j2 = mgr.submit([spec_of("q-sleep", 2, delay=0.1)])
+            await _wait_done(mgr, j1)
+            await _wait_done(mgr, j2)
+            j3 = mgr.submit([spec_of("q-echo", 3)])   # accepted again
+            await _wait_done(mgr, j3)
+            assert j3.state == JobState.DONE
+            await mgr.shutdown()
+        run(main())
+
+
+class TestShutdown:
+    def test_drain_completes_accepted_jobs(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path, workers=2, max_queue=8)
+            jobs = [mgr.submit([spec_of("q-sleep", i, delay=0.05)]) for i in range(6)]
+            await mgr.shutdown(drain=True)
+            assert all(j.state == JobState.DONE for j in jobs)
+            assert mgr.metrics.completed == 6
+        run(main())
+
+    def test_submit_after_close_rejected(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path)
+            await mgr.shutdown()
+            with pytest.raises(ServerClosing):
+                mgr.submit([spec_of("q-echo", 1)])
+        run(main())
+
+    def test_drained_results_are_cached(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path)
+            mgr.submit([spec_of("q-echo", 42)])
+            await mgr.shutdown(drain=True)
+            assert len(mgr.store) == 1
+            # A fresh manager over the same store hits immediately.
+            mgr2 = await _manager(tmp_path)
+            j = mgr2.submit([spec_of("q-echo", 42)])
+            assert j.cached and j.state == JobState.DONE
+            await mgr2.shutdown()
+        run(main())
+
+
+class TestValidation:
+    def test_bad_pool_config_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ValueError):
+            JobManager(store, workers=0)
+        with pytest.raises(ValueError):
+            JobManager(store, max_queue=0)

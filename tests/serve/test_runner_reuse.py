@@ -1,0 +1,131 @@
+"""SweepRunner reuse under the server: the isolation properties hold.
+
+The server funnels jobs through the same runner the batch harness
+uses; these tests pin that its guarantees survive the trip — a point
+that hangs past the per-point timeout or kills its worker process
+fails *that job only* and leaves the server serving, and an evicted
+cache entry recomputes to byte-identical payload.
+"""
+
+import asyncio
+import os
+import time
+
+from repro.serve.digest import job_digest, result_payload
+from repro.serve.jobs import JobManager, JobState
+from repro.serve.metrics import ServeMetrics
+from repro.serve.store import ResultStore
+from repro.sweep import RunSpec, SweepRunner, register_point
+
+
+@register_point("r-echo")
+def _echo(spec):
+    return {"x": dict(spec.params)["x"], "events": 2}
+
+
+@register_point("r-die")
+def _die(spec):
+    os._exit(23)  # worker vanishes without a result
+
+
+@register_point("r-hang")
+def _hang(spec):
+    time.sleep(60.0)
+    return {"x": 0}
+
+
+def spec_of(kind, x, **kw):
+    return RunSpec.make(kind, "Abe", "m", x=x, **kw)
+
+
+async def _manager(tmp_path, **kw):
+    mgr = JobManager(ResultStore(tmp_path / "store"), ServeMetrics(), **kw)
+    await mgr.start()
+    return mgr
+
+
+async def _wait(job):
+    version = 0
+    while not job.terminal:
+        version = await job.wait_change(version)
+    return job
+
+
+class TestPerPointTimeout:
+    def test_hanging_point_fails_job_not_server(self, tmp_path):
+        async def main():
+            # jobs_per_run=2 puts points in forked workers, where the
+            # runner's supervision (not the server) enforces timeouts.
+            mgr = await _manager(
+                tmp_path, workers=1, jobs_per_run=2, point_timeout=1.0
+            )
+            bad = mgr.submit([spec_of("r-hang", 0), spec_of("r-hang", 1)])
+            good = mgr.submit([spec_of("r-echo", 7)])
+            await _wait(bad)
+            assert bad.state == JobState.FAILED
+            assert "timed out" in bad.error
+            await _wait(good)
+            assert good.state == JobState.DONE       # server still serving
+            assert len(mgr.store) == 1               # only the good payload
+            await mgr.shutdown()
+        asyncio.run(main())
+
+
+class TestWorkerCrashIsolation:
+    def test_dying_worker_fails_job_not_server(self, tmp_path):
+        async def main():
+            mgr = await _manager(tmp_path, workers=1, jobs_per_run=2)
+            bad = mgr.submit([spec_of("r-die", 0), spec_of("r-die", 1)])
+            good = mgr.submit([spec_of("r-echo", 8)])
+            await _wait(bad)
+            assert bad.state == JobState.FAILED
+            assert "died" in bad.error
+            await _wait(good)
+            assert good.state == JobState.DONE
+            assert mgr.metrics.failed == 1 and mgr.metrics.completed == 1
+            await mgr.shutdown()
+        asyncio.run(main())
+
+
+class TestStoreRoundTrip:
+    def test_write_evict_recompute_identical_bytes(self, tmp_path):
+        """The cache contract end to end: losing an entry is harmless."""
+        specs = [spec_of("r-echo", i) for i in range(3)]
+        digest = job_digest(specs)
+        first = result_payload(SweepRunner(jobs=1).run(specs))
+
+        store = ResultStore(tmp_path / "store", max_bytes=len(first) + 10)
+        store.put(digest, first)
+        assert store.get(digest) == first
+
+        # Evict by crowding it out with filler entries.
+        import hashlib
+        for i in range(3):
+            filler = hashlib.sha256(f"filler{i}".encode()).hexdigest()
+            store.put(filler, b"f" * len(first))
+        assert store.get(digest) is None and store.evictions >= 1
+
+        # Recompute: byte-identical, so re-caching is safe forever.
+        second = result_payload(SweepRunner(jobs=2).run(specs))
+        assert second == first
+        store.put(digest, second)
+        assert store.get(digest) == first
+
+    def test_manager_recomputes_after_eviction(self, tmp_path):
+        async def main():
+            store = ResultStore(tmp_path / "store")
+            mgr = JobManager(store, ServeMetrics())
+            await mgr.start()
+            j1 = mgr.submit([spec_of("r-echo", 5)])
+            await _wait(j1)
+            payload = j1.payload
+
+            # Simulate external eviction, then resubmit: miss + recompute.
+            os.unlink(tmp_path / "store" / "objects" / j1.digest[:2] / j1.digest)
+            store._index.pop(j1.digest)
+            j2 = mgr.submit([spec_of("r-echo", 5)])
+            assert not j2.cached
+            await _wait(j2)
+            assert j2.payload == payload
+            await mgr.shutdown()
+        asyncio.run(main())

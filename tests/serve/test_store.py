@@ -1,0 +1,134 @@
+"""ResultStore: atomic writes, LRU eviction, manifest, persistence."""
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.serve.store import ResultStore, StoreError
+
+
+def d(tag: str) -> str:
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(d("a")) is None
+        store.put(d("a"), b"payload-a")
+        assert store.get(d("a")) == b"payload-a"
+        assert d("a") in store and len(store) == 1
+
+    def test_bad_digest_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("short", "Z" * 64, "", "xyz"):
+            with pytest.raises(StoreError):
+                store.get(bad)
+        with pytest.raises(StoreError):
+            store.put("nope", b"x")
+
+    def test_non_bytes_payload_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="bytes"):
+            ResultStore(tmp_path).put(d("a"), "not-bytes")
+
+    def test_reput_is_noop(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(d("a"), b"first")
+        store.put(d("a"), b"second-ignored")  # content-addressed: immutable
+        assert store.get(d("a")) == b"first"
+
+    def test_zero_cap_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultStore(tmp_path, max_bytes=0)
+
+
+class TestAtomicity:
+    def test_object_file_is_whole(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(d("a"), b"x" * 1000)
+        path = tmp_path / "objects" / d("a")[:2] / d("a")
+        assert path.read_bytes() == b"x" * 1000
+
+    def test_no_tmp_litter_after_put(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(5):
+            store.put(d(f"k{i}"), b"v" * 10)
+        leftovers = [
+            p for p in (tmp_path / "objects").rglob(".tmp-*")
+        ]
+        assert leftovers == []
+
+    def test_vanished_file_degrades_to_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(d("a"), b"x")
+        os.unlink(tmp_path / "objects" / d("a")[:2] / d("a"))
+        assert store.get(d("a")) is None
+        assert d("a") not in store
+
+
+class TestLRU:
+    def test_eviction_drops_coldest(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=250)
+        store.put(d("a"), b"a" * 100)
+        store.put(d("b"), b"b" * 100)
+        store.get(d("a"))                  # refresh a: b is now coldest
+        store.put(d("c"), b"c" * 100)      # 300 > 250: evict b
+        assert store.get(d("b")) is None
+        assert store.get(d("a")) == b"a" * 100
+        assert store.get(d("c")) == b"c" * 100
+        assert store.evictions == 1
+
+    def test_new_entry_never_self_evicts(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=50)
+        store.put(d("big"), b"x" * 200)    # alone over cap: kept anyway
+        assert store.get(d("big")) == b"x" * 200
+
+    def test_cap_respected_across_many_puts(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=500)
+        for i in range(20):
+            store.put(d(f"k{i}"), b"v" * 100)
+        assert store.total_bytes <= 500
+        assert store.evictions == 15
+        # The newest entries survive.
+        assert store.get(d("k19")) is not None
+        assert store.get(d("k0")) is None
+
+
+class TestPersistence:
+    def test_reopen_sees_objects(self, tmp_path):
+        ResultStore(tmp_path).put(d("a"), b"persisted")
+        store2 = ResultStore(tmp_path)
+        assert store2.get(d("a")) == b"persisted"
+        assert len(store2) == 1
+
+    def test_reopen_preserves_lru_order(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(d("old"), b"o" * 100)
+        store.put(d("new"), b"n" * 100)
+        os.utime(tmp_path / "objects" / d("old")[:2] / d("old"), (1, 1))
+        store2 = ResultStore(tmp_path, max_bytes=250)
+        store2.put(d("k"), b"k" * 100)     # must evict, coldest first
+        assert store2.get(d("old")) is None
+        assert store2.get(d("new")) is not None
+
+
+class TestManifest:
+    def test_manifest_contents(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=10_000)
+        store.put(d("a"), b"aaa")
+        store.put(d("b"), b"bbbb")
+        m = store.manifest()
+        assert m["objects"] == 2
+        assert m["total_bytes"] == 7
+        assert m["max_bytes"] == 10_000
+        assert {e["digest"] for e in m["entries"]} == {d("a"), d("b")}
+
+    def test_write_manifest(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(d("a"), b"x")
+        out = tmp_path / "manifest.json"
+        store.write_manifest(out)
+        loaded = json.loads(out.read_text())
+        assert loaded["objects"] == 1 and loaded["entries"][0]["digest"] == d("a")

@@ -78,7 +78,8 @@ def test_resolve_shards_default_is_none(monkeypatch):
 def test_resolve_shards_argument_wins(monkeypatch):
     monkeypatch.setenv("REPRO_SHARDS", "8")
     assert resolve_shards(2) == 2
-    assert resolve_shards(0) == 1  # clamped to the engine baseline
+    with pytest.raises(ParallelEngineError, match="at least 1"):
+        resolve_shards(0)
 
 
 def test_resolve_shards_env(monkeypatch):

@@ -86,13 +86,24 @@ class TestResolveJobs:
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert resolve_jobs() == 1
 
-    def test_garbage_env_ignored(self, monkeypatch):
+    def test_garbage_env_rejected(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "many")
-        assert resolve_jobs() == 1
+        with pytest.raises(SweepError, match="REPRO_JOBS must be a positive integer"):
+            resolve_jobs()
 
-    def test_floor_is_one(self):
-        assert resolve_jobs(0) == 1
-        assert resolve_jobs(-4) == 1
+    def test_env_below_one_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(SweepError, match="at least 1"):
+            resolve_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        with pytest.raises(SweepError, match="at least 1"):
+            resolve_jobs()
+
+    def test_explicit_below_one_rejected(self):
+        with pytest.raises(SweepError, match="at least 1"):
+            resolve_jobs(0)
+        with pytest.raises(SweepError, match="at least 1"):
+            resolve_jobs(-4)
 
 
 class TestExecuteSpec:

@@ -98,3 +98,43 @@ class TestRunResult:
         r2 = pickle.loads(pickle.dumps(r))
         assert r2.spec == spec and r2.values == r.values
         assert r2.trace_events == r.trace_events
+
+
+class TestDigest:
+    """Spec-level digest properties (cache semantics in tests/serve/)."""
+
+    def test_stable_across_param_order(self):
+        a = RunSpec.make("stencil", "Abe", "ckd", 16, iterations=2, n=64)
+        b = RunSpec.make("stencil", "Abe", "ckd", 16, n=64, iterations=2)
+        assert a.digest() == b.digest()
+
+    def test_repeatable_within_process(self):
+        spec = RunSpec.make("stencil", "Abe", "ckd", 16, n=64)
+        assert spec.digest() == spec.digest()
+
+    def test_known_value_pins_encoding(self):
+        # Pinned so accidental canonical-encoding changes (which would
+        # silently orphan every cached result) fail loudly here.
+        spec = RunSpec.make("pingpong", "Surveyor", "ckdirect",
+                            iterations=5, size=1000)
+        import hashlib
+        from repro.sweep.spec import ENGINE_SCHEMA, canonical_json
+        expected = hashlib.sha256(canonical_json({
+            "schema": ENGINE_SCHEMA,
+            "spec": {"kind": "pingpong", "machine": "Surveyor",
+                     "mode": "ckdirect", "n_pes": 0,
+                     "params": {"iterations": 5, "size": 1000}},
+        }).encode()).hexdigest()
+        assert spec.digest() == expected
+
+    def test_from_dict_rejects_bad_shapes(self):
+        with pytest.raises(SweepError):
+            RunSpec.from_dict([])
+        with pytest.raises(SweepError):
+            RunSpec.from_dict({"machine": "Abe"})
+        with pytest.raises(SweepError):
+            RunSpec.from_dict({"kind": "x", "machine": "Abe", "n_pes": -1})
+        with pytest.raises(SweepError):
+            RunSpec.from_dict({"kind": "x", "machine": "Abe", "params": 3})
+        with pytest.raises(SweepError):
+            RunSpec.from_dict({"kind": "x", "machine": "Abe", "extra": 1})
