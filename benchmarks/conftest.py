@@ -12,10 +12,19 @@ Suite-wide options:
     and assertions are byte-identical at any N — the determinism
     regression test pins this — so it is purely a wall-clock knob.
 
+``--eventq IMPL``
+    Back every simulator with the given event-queue implementation
+    (exported as ``REPRO_EVENTQ``; see :mod:`repro.sim.eventq`).
+    Results are byte-identical for every choice — like ``--jobs`` it
+    is purely a wall-clock knob — and the chosen implementation is
+    recorded in the trajectory entry so per-queue timings can be
+    compared across sessions.
+
 ``--bench-json [PATH]``
     Append this session's timing trajectory to ``PATH`` (default
     ``benchmarks/results/BENCH_sweeps.json``): wall-clock per
     benchmark module, per-sweep wall/events/events-per-second records,
+    named stages recorded by individual benchmarks (``record_stage``),
     and the parallel speedup against the file's most recent serial
     entry.  Successive sessions accumulate, so the file tracks how
     the simulator's throughput moves across PRs.
@@ -38,6 +47,9 @@ BENCH_JSON_DEFAULT = RESULTS_DIR / "BENCH_sweeps.json"
 _module_wall = defaultdict(float)
 _session_t0 = 0.0
 
+#: stage name -> payload recorded by individual benchmarks this session.
+_stages = {}
+
 
 def save_report(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -46,12 +58,29 @@ def save_report(name: str, text: str) -> None:
     print(text)
 
 
+def record_stage(name: str, data) -> None:
+    """Attach a named measurement to this session's trajectory entry.
+
+    Benchmarks call this with JSON-ready payloads (e.g. the engine
+    microbench's per-implementation µs/event table); the data lands
+    under ``stages`` in the ``--bench-json`` entry so per-PR trends
+    stay queryable without parsing report text.
+    """
+    _stages[name] = data
+
+
 def pytest_addoption(parser):
     group = parser.getgroup("repro sweeps")
     group.addoption(
         "--jobs", type=int, default=None, metavar="N",
         help="run sweep points over N worker processes (sets REPRO_JOBS; "
              "results are identical at any N)",
+    )
+    group.addoption(
+        "--eventq", default=None, metavar="IMPL",
+        help="event-queue implementation backing every simulator "
+             "(sets REPRO_EVENTQ; results are identical for every "
+             "choice)",
     )
     group.addoption(
         "--bench-json", nargs="?", const=str(BENCH_JSON_DEFAULT),
@@ -69,6 +98,14 @@ def pytest_configure(config):
         if jobs < 1:
             raise pytest.UsageError(f"--jobs must be at least 1, got {jobs}")
         os.environ["REPRO_JOBS"] = str(jobs)
+    eventq = config.getoption("--eventq")
+    if eventq is not None:
+        from repro.sim.eventq import resolve_eventq
+
+        try:
+            os.environ["REPRO_EVENTQ"] = resolve_eventq(eventq)
+        except Exception as exc:
+            raise pytest.UsageError(str(exc))
 
 
 def pytest_runtest_logreport(report):
@@ -91,6 +128,7 @@ def pytest_sessionfinish(session, exitstatus):
     path = session.config.getoption("--bench-json")
     if not path:
         return
+    from repro.sim.eventq import eventq_name, make_simulator
     from repro.sweep import resolve_jobs, stats
 
     path = pathlib.Path(path)
@@ -98,6 +136,9 @@ def pytest_sessionfinish(session, exitstatus):
     sweeps = stats.drain()
     entry = {
         "jobs": resolve_jobs(session.config.getoption("--jobs")),
+        # the implementation every simulator in this session resolved
+        # to (flag > REPRO_EVENTQ > auto)
+        "eventq": eventq_name(make_simulator()),
         "exit_status": int(exitstatus),
         "total_wall_s": round(time.perf_counter() - _session_t0, 3),
         "modules": {k: round(v, 3) for k, v in sorted(_module_wall.items())},
@@ -105,6 +146,8 @@ def pytest_sessionfinish(session, exitstatus):
         "sweep_wall_s": round(sum(s["wall_s"] for s in sweeps), 3),
         "sweep_events": sum(s["events"] for s in sweeps),
     }
+    if _stages:
+        entry["stages"] = dict(_stages)
     if entry["jobs"] > 1:
         serial = [e for e in entries if e.get("jobs") == 1]
         if serial:

@@ -1,30 +1,52 @@
-"""Microbenchmark: DES hot-path cost per event, new engine vs legacy.
+"""Microbenchmark: DES hot-path cost per event across queue variants.
 
 The simulator's ``run()`` loop is the constant factor every artifact
 in this repo pays — tables, figures, and ablations are all millions of
-``(pop, fire, schedule)`` cycles.  This benchmark pins the hot-path
-optimization (tuple-keyed heap entries, the no-kwargs dispatch fast
-path) against a faithful replica of the engine as it stood before:
-``Event`` objects on the heap compared through ``Event.__lt__`` →
-``sort_key()`` tuple allocation, and ``fn(*args, **kwargs)`` dispatch
-with an always-allocated kwargs dict.
+``(pop, fire, schedule)`` cycles.  This benchmark pins three engines
+against each other:
 
-The workload is the simulator's real usage profile: a self-rescheduling
-event chain (pingpong-style), a fan-out/fan-in burst (multicast-style),
-and a fraction of cancelled timeouts (rendezvous-style).  The assertion
-is the issue's acceptance bar: at least 15% lower µs/event.  Measured
-on the CI container this lands far above the bar (~40-55%).
+* the *legacy* replica — the engine as it stood before the tuple-heap
+  optimization (``Event`` objects on the heap compared through
+  ``Event.__lt__`` → ``sort_key()`` tuple allocation, kwargs dict
+  always allocated);
+* the *heap* reference — today's ``Simulator``;
+* the *calendar* queue — :class:`repro.sim.eventq.CalendarSimulator`
+  (pure Python) and, when built, the compiled core
+  (``--eventq compiled``).
+
+The workload is the simulator's real usage profile: several
+self-rescheduling event chains progressing concurrently in virtual
+time (what a multi-PE run generates — each PE is its own
+pingpong-style chain), a fan-out/fan-in burst (multicast-style), and a
+fraction of cancelled timeouts (rendezvous-style).
+
+Methodology: each engine is timed over ``ROUNDS`` full workload runs
+and scored by the **median**, not the best — a single timed run (or a
+best-of) tracks scheduler tail luck, which made the old guard flaky
+on loaded CI machines.  The assertions are the issue's acceptance
+bars: ≥15% below legacy for the heap (re-baselined against the median
+methodology), ≥1.3× heap for the pure-Python calendar, ≥2.5× heap for
+the compiled core.  Measured on the CI container these land at
+~40-45%, ~1.4×, and ~5.5-6× respectively.
 """
 
 from __future__ import annotations
 
 import heapq
+import statistics
 import time
 
-from conftest import save_report
+from conftest import record_stage, save_report
 from repro.sim.engine import Simulator
+from repro.sim.eventq import (
+    CalendarSimulator,
+    CompiledSimulator,
+    compiled_available,
+)
 
-ROUNDS = 5  # best-of to shed scheduler noise
+import pytest
+
+ROUNDS = 5  # median-of to shed scheduler noise (>= 3 required)
 
 
 # ---------------------------------------------------------------------------
@@ -93,10 +115,11 @@ class _LegacySimulator:
 
 
 # ---------------------------------------------------------------------------
-# Workload (engine-agnostic: both simulators expose schedule/at/cancel)
+# Workload (engine-agnostic: all simulators expose schedule/cancel/run)
 # ---------------------------------------------------------------------------
 
-CHAIN_EVENTS = 60_000
+CHAIN_EVENTS = 60_000   # total hops, split across the lanes
+CHAIN_LANES = 8         # concurrent chains ≈ concurrent PEs in a run
 FAN_BATCHES = 400
 FAN_WIDTH = 64
 CANCEL_EVERY = 8
@@ -104,12 +127,13 @@ CANCEL_EVERY = 8
 
 def _workload(sim) -> int:
     """The usage profile the artifacts generate; returns events fired."""
-    state = {"n": 0}
+    per_lane = CHAIN_EVENTS // CHAIN_LANES
+    state = [0] * CHAIN_LANES
 
-    def hop():
-        state["n"] += 1
-        if state["n"] < CHAIN_EVENTS:
-            sim.schedule(1e-6, hop)
+    def hop(lane):
+        state[lane] += 1
+        if state[lane] < per_lane:
+            sim.schedule(1e-6, hop, lane)
 
     def leaf():
         pass
@@ -125,45 +149,99 @@ def _workload(sim) -> int:
         if i + 1 < FAN_BATCHES:
             sim.schedule(2e-6, burst, i + 1)
 
-    sim.schedule(1e-6, hop)
+    for lane in range(CHAIN_LANES):
+        sim.schedule(1e-6 + lane * 1e-8, hop, lane)
     sim.schedule(1e-6, burst, 0)
     sim.run()
     return sim.events_processed
 
 
 def _time_us_per_event(sim_factory) -> float:
-    best = float("inf")
+    """Median µs/event over ROUNDS full workload runs."""
+    samples = []
     for _ in range(ROUNDS):
         sim = sim_factory()
         t0 = time.perf_counter()
         fired = _workload(sim)
         dt = time.perf_counter() - t0
-        best = min(best, dt / fired * 1e6)
-    return best
+        samples.append(dt / fired * 1e6)
+    return statistics.median(samples)
+
+
+def _report_and_record():
+    """Time every available engine once; cache for all assertions."""
+    rows = {
+        "legacy": _time_us_per_event(_LegacySimulator),
+        "heap": _time_us_per_event(Simulator),
+        "calendar": _time_us_per_event(CalendarSimulator),
+    }
+    if compiled_available():
+        rows["calendar-c"] = _time_us_per_event(CompiledSimulator)
+    return rows
+
+
+_rows_cache = {}
+
+
+def _rows():
+    if not _rows_cache:
+        _rows_cache.update(_report_and_record())
+        lines = [
+            "Engine microbench: us per event (median of %d rounds)" % ROUNDS,
+            "=" * 54,
+        ]
+        heap_us = _rows_cache["heap"]
+        for name, us in _rows_cache.items():
+            rel = (f"  ({heap_us / us:.2f}x vs heap)"
+                   if name not in ("heap", "legacy") else "")
+            lines.append(f"{name:<26}: {us:.3f} us/event{rel}")
+        improvement = ((_rows_cache["legacy"] - heap_us)
+                       / _rows_cache["legacy"] * 100.0)
+        lines.append(f"heap vs legacy improvement: {improvement:.1f}%")
+        save_report("engine_micro", "\n".join(lines))
+        record_stage("engine_micro", {
+            "rounds": ROUNDS,
+            "us_per_event": {k: round(v, 4) for k, v in _rows_cache.items()},
+            "calendar_speedup_vs_heap": round(
+                heap_us / _rows_cache["calendar"], 3),
+            "compiled_speedup_vs_heap": (
+                round(heap_us / _rows_cache["calendar-c"], 3)
+                if "calendar-c" in _rows_cache else None),
+        })
+    return _rows_cache
 
 
 def test_hot_path_speedup(benchmark):
-    legacy_us = _time_us_per_event(_LegacySimulator)
-    new_us = benchmark.pedantic(
-        lambda: _time_us_per_event(Simulator), rounds=1, iterations=1
-    )
-    improvement = (legacy_us - new_us) / legacy_us * 100.0
-    report = "\n".join([
-        "Engine microbench: us per event (best of %d rounds)" % ROUNDS,
-        "=" * 50,
-        f"legacy object-heap engine : {legacy_us:.3f} us/event",
-        f"tuple-heap engine         : {new_us:.3f} us/event",
-        f"improvement               : {improvement:.1f}%",
-    ])
-    save_report("engine_micro", report)
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    improvement = (rows["legacy"] - rows["heap"]) / rows["legacy"] * 100.0
     assert improvement >= 15.0, (
         f"hot-path optimization regressed: only {improvement:.1f}% "
-        f"({legacy_us:.3f} -> {new_us:.3f} us/event)"
+        f"({rows['legacy']:.3f} -> {rows['heap']:.3f} us/event)"
+    )
+
+
+def test_calendar_speedup():
+    rows = _rows()
+    speedup = rows["heap"] / rows["calendar"]
+    assert speedup >= 1.3, (
+        f"pure-Python calendar queue below the 1.3x bar: {speedup:.2f}x "
+        f"({rows['heap']:.3f} -> {rows['calendar']:.3f} us/event)"
+    )
+
+
+@pytest.mark.skipif(not compiled_available(),
+                    reason="compiled core not built")
+def test_compiled_speedup():
+    rows = _rows()
+    speedup = rows["heap"] / rows["calendar-c"]
+    assert speedup >= 2.5, (
+        f"compiled calendar core below the 2.5x bar: {speedup:.2f}x "
+        f"({rows['heap']:.3f} -> {rows['calendar-c']:.3f} us/event)"
     )
 
 
 def test_event_order_unchanged():
-    """Both engines fire the identical event sequence (the optimization
+    """Every engine fires the identical event sequence (the queue swap
     must be timing-only)."""
     def trace(sim):
         order = []
@@ -178,4 +256,8 @@ def test_event_order_unchanged():
         sim.run()
         return order
 
-    assert trace(Simulator()) == trace(_LegacySimulator())
+    ref = trace(Simulator())
+    assert ref == trace(_LegacySimulator())
+    assert ref == trace(CalendarSimulator())
+    if compiled_available():
+        assert ref == trace(CompiledSimulator())

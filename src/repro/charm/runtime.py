@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
 from ..network import Fabric, MachineParams, make_fabric
 from ..projections.events import CAT_MSG, HOST_TRACK
 from ..projections.eventlog import EventLog, current_tracer
-from ..sim import Simulator, Trace
+from ..sim import Simulator, Trace, make_simulator
 from .array import ChareArray
 from .callback import CkCallback
 from .chare import Chare
@@ -89,7 +89,10 @@ class Runtime:
         if shards is not None and shards < 1:
             raise CharmError(f"shards must be >= 1, got {shards}")
         self.machine = machine
-        self.sim = Simulator()
+        # Honors REPRO_EVENTQ / --eventq; every implementation pops
+        # the same (time, priority, seq) order, so results are
+        # bit-identical regardless of which queue backs the run.
+        self.sim = make_simulator()
         self.trace = Trace(record_samples=record_samples,
                            now_fn=lambda: self.sim.now)
         #: timeline tracer (None = tracing off, the near-zero-cost

@@ -61,7 +61,8 @@ class MulticastChannel:
             raise CkDirectError(f"{self.name}: put_all with no receivers attached")
         rt = self.chare.rt
         issue = rt.machine.ckdirect.put_issue
-        # One schedule_batch admits the whole fan-out's delivery events.
+        # One schedule_batch admits the whole fan-out's delivery
+        # events (atomic and ordering-neutral on every eventq impl).
         with rt.fabric.batch():
             for i, handle in enumerate(self.handles):
                 api.put(

@@ -28,11 +28,18 @@ purely a wall-clock knob.  When both are given, the sweep pool is
 scaled down so jobs x shards stays within the requested process
 budget.
 
-Precedence for both knobs is **flag over environment over default**:
-an explicit ``--jobs``/``--shards`` always wins (the flag is exported
-into the matching env var so indirectly-run sweeps see it too);
-``REPRO_JOBS``/``REPRO_SHARDS`` apply only when the flag is absent.
-Values below 1 or non-integer env strings are rejected with a
+``--eventq IMPL`` (or ``REPRO_EVENTQ=IMPL``) selects the event-queue
+implementation backing every simulator — ``heap`` (the reference),
+``calendar`` (pure-Python calendar queue), ``compiled`` (the native
+core, when built), or ``auto`` (the default) — again with
+byte-identical output, so it is the third pure wall-clock knob.
+
+Precedence for all three knobs is **flag over environment over
+default**: an explicit ``--jobs``/``--shards``/``--eventq`` always
+wins (the flag is exported into the matching env var so
+indirectly-run sweeps see it too); ``REPRO_JOBS``/``REPRO_SHARDS``/
+``REPRO_EVENTQ`` apply only when the flag is absent.  Values below 1,
+non-integer env strings, or unknown queue names are rejected with a
 one-line error, never silently clamped.
 
 ``repro serve`` starts the async simulation job server (persistent
@@ -63,6 +70,7 @@ from .bench import (
 )
 from .network.params import MACHINES
 from .projections.eventlog import EventLog, install_tracer, uninstall_tracer
+from .sim.eventq import EVENTQ_CHOICES
 from .projections.export import write_chrome_trace
 
 ARTIFACTS = {
@@ -128,6 +136,13 @@ def _parser() -> argparse.ArgumentParser:
                         "engine (default: $REPRO_SHARDS, else the "
                         "legacy serial engine; output is identical "
                         "at any N)")
+    p.add_argument("--eventq", default=None, metavar="IMPL",
+                   choices=list(EVENTQ_CHOICES),
+                   help="event-queue implementation: auto (default, "
+                        "compiled core when built, else by workload), "
+                        "heap (reference), calendar (pure Python), or "
+                        "compiled (default: $REPRO_EVENTQ; output is "
+                        "identical for every choice)")
     return p
 
 
@@ -191,6 +206,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # flag covers every artifact; runs that cannot shard (fault
         # injection, link contention) fall back to serial on their own.
         os.environ["REPRO_SHARDS"] = str(args.shards)
+    if args.eventq is not None:
+        # Simulators resolve their queue from REPRO_EVENTQ at
+        # construction (make_simulator), so the flag reaches every
+        # run, including shard workers forked by the parallel engine.
+        os.environ["REPRO_EVENTQ"] = args.eventq
 
     if args.artifact == "list":
         entries = {**ARTIFACTS, **COMMANDS}

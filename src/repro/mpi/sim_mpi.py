@@ -31,7 +31,7 @@ from ..network import BGPFabric, MachineParams, make_fabric
 from ..network.params import IBM_MPI_BUFFERING_TABLE, interp_table
 from ..projections.events import CAT_MPI, CAT_MSG
 from ..projections.eventlog import current_tracer
-from ..sim import Entity, Simulator, Trace
+from ..sim import Entity, Simulator, Trace, make_simulator
 from .flavors import MPIError, regime_for, resolve_flavor, uses_rendezvous
 from .p2p import ANY_SOURCE, ANY_TAG, Arrival, Matcher, RecvPost
 
@@ -120,7 +120,7 @@ class MPIWorld:
             raise MPIError(f"n_ranks must be positive, got {n_ranks}")
         self.machine = machine
         self.params = resolve_flavor(machine, flavor)
-        self.sim = sim if sim is not None else Simulator()
+        self.sim = sim if sim is not None else make_simulator()
         self.trace = Trace(record_samples=record_samples,
                            now_fn=lambda: self.sim.now)
         #: timeline tracer (ambient pickup, as in the charm Runtime).

@@ -134,6 +134,12 @@ class Fabric(Entity):
         and sequence numbers are assigned in issue order at flush,
         event ordering is unchanged.  Nested use is a no-op (the
         outermost batch flushes).
+
+        ``schedule_batch`` is part of the pluggable event-queue
+        surface (:mod:`repro.sim.eventq`): every implementation admits
+        the burst atomically with consecutive sequence numbers, so
+        batching is ordering-neutral under heap, calendar and
+        compiled queues alike.
         """
         if self._batch is not None:  # nested: defer to the outer batch
             yield

@@ -20,9 +20,11 @@ drivers (which import the runtime, which imports the event log).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..network.params import ABE, MachineParams
+from ..sim.eventq import eventq_name
 from .analysis import (
     category_totals,
     critical_path_summary,
@@ -87,6 +89,32 @@ def _run_app(app: str, machine: MachineParams, stack: str, size: int,
     raise ProfileError(f"unknown app {app!r}; expected one of {sorted(_APPS)}")
 
 
+def engine_summary(log: EventLog, wall_s: float) -> Dict[str, object]:
+    """Event-engine throughput over every runtime the log traced.
+
+    Sums ``sim.events_processed`` across the traced runtimes and
+    names the event-queue implementation that backed them (see
+    :mod:`repro.sim.eventq`), so dashboards can attribute wall-clock
+    speedups to the queue rather than to workload changes.
+    """
+    events = 0
+    impls: List[str] = []
+    for _label, owner, _n in log.runs:
+        sim = getattr(owner, "sim", None)
+        if sim is None:
+            continue
+        events += int(sim.events_processed)
+        name = eventq_name(sim)
+        if name not in impls:
+            impls.append(name)
+    return {
+        "eventq": impls[0] if len(impls) == 1 else (impls or ["unknown"]),
+        "events": events,
+        "wall_s": round(wall_s, 6),
+        "events_per_s": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+    }
+
+
 def _summed_counters(log: EventLog) -> Dict[str, int]:
     """Aggregate Trace counters over every runtime the log traced."""
     totals: Dict[str, int] = {}
@@ -125,7 +153,8 @@ def reconcile(log: EventLog) -> List[Dict[str, object]]:
     return rows
 
 
-def render_profile(log: EventLog, headline: str = "") -> str:
+def render_profile(log: EventLog, headline: str = "",
+                   engine: Optional[Dict[str, object]] = None) -> str:
     """The full terminal profile report for a traced run."""
     cats = category_totals(log)
     busy_total = sum(row["time"] for cat, row in cats.items()
@@ -135,6 +164,12 @@ def render_profile(log: EventLog, headline: str = "") -> str:
         lines.append(headline)
     lines.append(f"{len(log.events)} timeline events across "
                  f"{len(log.runs)} run(s)")
+    if engine is not None:
+        lines.append(
+            f"engine: eventq={engine['eventq']}, "
+            f"{engine['events']} sim events, "
+            f"{engine['events_per_s'] / 1e6:.2f} M events/s"
+        )
     lines.append("")
     lines.append(f"{'category':<10} {'events':>8} {'time (us)':>12} {'% busy':>8}")
     order = sorted(cats.items(), key=lambda kv: kv[1]["time"], reverse=True)
@@ -189,18 +224,21 @@ def run_profile(
     machine = machine if machine is not None else ABE
     iterations = iterations if iterations is not None else default_iters
     log = log if log is not None else EventLog()
+    t0 = time.perf_counter()
     with tracing(log):
         headline = (f"profile: {app}/{stack} on {machine.name} — "
                     + _run_app(app, machine, stack, size, iterations, n_pes))
+    engine = engine_summary(log, time.perf_counter() - t0)
     return {
         "app": app,
         "stack": stack,
         "machine": machine.name,
         "log": log,
+        "engine": engine,
         "categories": category_totals(log),
         "names": name_totals(log),
         "reconciliation": reconcile(log),
         "critical_path": critical_path_summary(log),
         "utilization": utilization_profile(log),
-        "report": render_profile(log, headline),
+        "report": render_profile(log, headline, engine),
     }

@@ -276,6 +276,10 @@ class JobManager:
             job.state = JobState.FAILED
             job.error = f"{type(exc).__name__}: {exc}"
         else:
+            self.metrics.observe_engine(
+                sum(r.events for r in results if r.ok),
+                time.monotonic() - t0,
+            )
             failed = [r for r in results if not r.ok]
             if failed:
                 job.state = JobState.FAILED

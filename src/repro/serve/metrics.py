@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Tuple
 
+from ..sim.eventq import eventq_name, make_simulator
 from ..sim.trace import RunningStats
 from ..util.stats import LatencyHistogram
 
@@ -32,6 +33,12 @@ class ServeMetrics:
         self.failed = 0
         self.rejected = 0      # 429 backpressure responses
         self.bad_requests = 0  # 400s
+        # engine throughput (simulated events fired by completed jobs)
+        self.sim_events = 0
+        self.sim_wall_s = 0.0
+        # Workers fork from this process, so the queue implementation
+        # resolved here (REPRO_EVENTQ) is the one every job runs on.
+        self.eventq = eventq_name(make_simulator())
         # per-(kind, hit|miss) latency
         self._hist: Dict[Tuple[str, str], LatencyHistogram] = {}
         self._stats: Dict[Tuple[str, str], RunningStats] = {}
@@ -44,6 +51,11 @@ class ServeMetrics:
             self._stats[key] = RunningStats()
         self._hist[key].observe(seconds)
         self._stats[key].add(max(0.0, float(seconds)))
+
+    def observe_engine(self, events: int, wall_s: float) -> None:
+        """Fold one job's simulated-event count and wall time in."""
+        self.sim_events += int(events)
+        self.sim_wall_s += max(0.0, float(wall_s))
 
     def to_dict(self, store=None, queue=None) -> Dict:
         """JSON-ready snapshot; optionally folds in store/queue state."""
@@ -67,6 +79,14 @@ class ServeMetrics:
                 "failed": self.failed,
                 "rejected": self.rejected,
                 "bad_requests": self.bad_requests,
+            },
+            "engine": {
+                "eventq": self.eventq,
+                "events": self.sim_events,
+                "events_per_s": (
+                    round(self.sim_events / self.sim_wall_s, 1)
+                    if self.sim_wall_s > 0 else 0.0
+                ),
             },
             "latency": latency,
         }

@@ -36,6 +36,12 @@ per event is first-order for wall-clock time (see
   dominate it, so workloads that rarely cancel never pay for it;
 * :meth:`schedule_batch` admits a burst of callbacks in one call —
   used by the fabric layer for multi-put/multi-packet send bursts.
+
+This class is also the *reference implementation* of the pluggable
+event-queue layer: :mod:`repro.sim.eventq` provides a calendar-queue
+variant and an optional compiled core that must match this engine's
+pop order bit-for-bit.  Construct through
+:func:`repro.sim.eventq.make_simulator` to honor ``REPRO_EVENTQ``.
 """
 
 from __future__ import annotations
@@ -69,6 +75,10 @@ class Simulator:
     >>> sim.now
     1e-06
     """
+
+    #: Event-queue implementation name, reported by ``repro profile``
+    #: and the serve layer's ``/metrics`` (see :mod:`repro.sim.eventq`).
+    eventq_name = "heap"
 
     def __init__(self) -> None:
         self._now: float = 0.0

@@ -3,7 +3,14 @@
 One large run is partitioned across N worker processes ("shards"), each
 owning a contiguous block of *nodes* (see
 :func:`repro.network.topology.shard_nodes`) and running its own
-:class:`~repro.sim.engine.Simulator` over the full replicated runtime.
+simulator over the full replicated runtime.  The engine is
+event-queue-agnostic: it drives each shard only through the
+``next_event_time()`` / ``run_before(bound)`` / ``schedule_batch``
+surface, which every :mod:`repro.sim.eventq` implementation (heap,
+calendar, compiled) honors with the same ``(time, priority, seq)``
+pop order — so ``--eventq`` composes freely with ``--shards`` and the
+bit-identity guarantee below is unchanged.  Worker processes inherit
+``REPRO_EVENTQ`` through fork, so all shards run the same queue.
 Shards advance in lock-step **epoch windows**:
 
 1. At a barrier every shard reports its next local event time and the

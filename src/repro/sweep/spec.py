@@ -31,10 +31,14 @@ from ..network.params import MACHINES, MachineParams
 #:
 #: The content-addressed result cache assumes *identical spec ⇒
 #: identical result bytes*.  That holds across ``--jobs`` / ``--shards``
-#: (both are wall-clock knobs) but NOT across engine changes: any PR
-#: that alters simulated timings, event ordering, point values, or the
-#: canonical result payload must bump this constant, which changes
-#: every digest and cleanly invalidates all previously cached results.
+#: / ``--eventq`` (all three are wall-clock knobs — every event-queue
+#: implementation pops the same ``(time, priority, seq)`` total order,
+#: proven by the eventq property suite, so swapping queues cannot
+#: change bytes and does NOT bump this constant) but NOT across engine
+#: changes: any PR that alters simulated timings, event ordering,
+#: point values, or the canonical result payload must bump this
+#: constant, which changes every digest and cleanly invalidates all
+#: previously cached results.
 ENGINE_SCHEMA = 1
 
 

@@ -1,0 +1,347 @@
+"""Unit tests for the pluggable event-queue layer.
+
+Every implementation — heap reference, pure-Python calendar, the
+compiled core when built, and the auto selector — must honor the
+complete :class:`~repro.sim.engine.Simulator` contract: pop order,
+rejection semantics, ``run``/``run_before``/``step``/
+``next_event_time`` behavior, cancellation accounting, and settable
+``_now`` (the parallel engine's final-merge path writes it).
+
+The mass-cancel regression here mirrors the heap engine's ``_compact``
+fix: compaction triggered *from inside a running callback* must mutate
+the rung storage in place, because the run loop holds local aliases
+across callback execution.
+"""
+
+import math
+
+import pytest
+
+import repro.sim.eventq as eventq_mod
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.eventq import (
+    EVENTQ_CHOICES,
+    AutoSimulator,
+    CalendarSimulator,
+    CompiledSimulator,
+    compiled_available,
+    eventq_name,
+    make_simulator,
+    resolve_eventq,
+)
+
+IMPLS = [Simulator, CalendarSimulator, AutoSimulator]
+if compiled_available():
+    IMPLS.append(CompiledSimulator)
+
+
+@pytest.fixture(params=IMPLS, ids=lambda c: c.__name__)
+def sim(request):
+    return request.param()
+
+
+# ---------------------------------------------------------------------------
+# Core contract, per implementation
+# ---------------------------------------------------------------------------
+
+
+def test_pop_order_time_priority_seq(sim):
+    fired = []
+    sim.schedule(2e-6, fired.append, "late")
+    sim.schedule(1e-6, fired.append, "tie-seq-a")
+    sim.schedule(1e-6, fired.append, "tie-seq-b")
+    sim.schedule(1e-6, fired.append, "tie-prio", priority=-1)
+    sim.run()
+    assert fired == ["tie-prio", "tie-seq-a", "tie-seq-b", "late"]
+    assert sim.events_processed == 4
+    assert sim.now == 2e-6
+
+
+def test_schedule_rejects_negative_and_nan(sim):
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.schedule(-1e-9, lambda: None)
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.schedule(math.nan, lambda: None)
+    assert sim.pending == 0
+
+
+def test_at_rejects_past_and_nan(sim):
+    sim.schedule(1e-6, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError, match="past"):
+        sim.at(0.5e-6, lambda: None)
+    with pytest.raises(SimulationError, match="past"):
+        sim.at(math.nan, lambda: None)
+
+
+def test_schedule_batch_is_atomic_on_rejection(sim):
+    sim.schedule(1e-6, lambda: None)
+    before = sim.pending
+    with pytest.raises(SimulationError, match="past"):
+        sim.schedule_batch([
+            (2e-6, lambda: None, ()),
+            (math.nan, lambda: None, ()),
+        ])
+    assert sim.pending == before  # nothing from the failed batch landed
+    fired = []
+    sim.schedule_batch([(3e-6, fired.append, ("b0",)),
+                       (2e-6, fired.append, ("b1",))])
+    sim.run()
+    assert fired == ["b1", "b0"]
+
+
+def test_batch_tiebreak_is_submission_order(sim):
+    fired = []
+    sim.schedule_batch([(1e-6, fired.append, (i,)) for i in range(8)])
+    sim.run()
+    assert fired == list(range(8))
+
+
+def test_run_until_fires_boundary_and_advances_clock(sim):
+    fired = []
+    sim.at(1.0, fired.append, "a")
+    sim.at(2.0, fired.append, "b")
+    sim.run(until=2.0)   # events at exactly `until` fire
+    assert fired == ["a", "b"]
+    assert sim.now == 2.0
+    sim.run(until=5.0)   # drained: clock still advances
+    assert sim.now == 5.0
+
+
+def test_run_max_events_stops_without_clock_jump(sim):
+    fired = []
+    for i in range(5):
+        sim.at(float(i + 1), fired.append, i)
+    sim.run(until=100.0, max_events=2)
+    assert fired == [0, 1]
+    assert sim.now == 2.0  # stopped by budget, not advanced to `until`
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_before_is_strict(sim):
+    fired = []
+    sim.at(1.0, fired.append, "a")
+    sim.at(2.0, fired.append, "b")
+    sim.run_before(2.0)
+    assert fired == ["a"]       # strictly below the bound
+    assert sim.now == 1.0       # no clock jump to the bound
+    sim.run_before(2.0 + 1e-12)
+    assert fired == ["a", "b"]
+
+
+def test_next_event_time_skips_cancelled(sim):
+    ev = sim.schedule(1e-6, lambda: None)
+    sim.schedule(2e-6, lambda: None)
+    ev.cancel()
+    assert sim.next_event_time() == 2e-6
+    sim2 = type(sim)()
+    assert sim2.next_event_time() == float("inf")
+
+
+def test_step_fires_exactly_one(sim):
+    fired = []
+    sim.schedule(1e-6, fired.append, "a")
+    sim.schedule(2e-6, fired.append, "b")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert fired == ["a", "b"]
+
+
+def test_cancel_accounting(sim):
+    evs = [sim.schedule(1e-6 * (i + 1), lambda: None) for i in range(4)]
+    assert sim.pending == 4 and sim.pending_active == 4
+    evs[1].cancel()
+    evs[1].cancel()  # idempotent
+    assert sim.pending == 4 and sim.pending_active == 3
+    sim.run()
+    assert sim.pending == 0 and sim.pending_active == 0
+    assert sim.events_processed == 3
+    evs[0].cancel()  # cancelling after the fire is a no-op
+    assert sim.pending_active == 0
+
+
+def test_now_is_settable(sim):
+    # parallel._merge_final writes sim._now after a sharded run
+    sim._now = 42.0
+    assert sim.now == 42.0
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 43.0
+
+
+def test_schedule_during_callback_same_time_lower_priority(sim):
+    """An event scheduled *from a callback* at the current time with a
+    lower priority than later-queued work must still fire in key
+    order (exercises the calendar's mid-rung insort path)."""
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(0.0, fired.append, "inserted", priority=-5)
+
+    sim.schedule(1e-6, first)
+    sim.schedule(1e-6, fired.append, "second", priority=1)
+    sim.run()
+    assert fired == ["first", "inserted", "second"]
+
+
+# ---------------------------------------------------------------------------
+# Mass-cancel during run(): the PR-3 _compact regression, per impl
+# ---------------------------------------------------------------------------
+
+
+def test_in_callback_mass_cancel_does_not_strand_storage(sim):
+    """A callback cancelling most of the pending set triggers lazy
+    compaction mid-run.  Compaction must mutate the live storage in
+    place: every surviving event still fires, in order, and the
+    accounting drains to zero."""
+    fired = []
+    doomed = []
+    survivors = []
+    for i in range(600):
+        ev = sim.schedule(1e-6 + i * 1e-9, fired.append, i)
+        (survivors if i % 10 == 0 else doomed).append((i, ev))
+
+    def massacre():
+        for _i, ev in doomed:
+            ev.cancel()
+
+    sim.schedule(5e-7, lambda: massacre())
+    sim.run()
+    assert fired == [i for i, _ev in survivors]
+    assert sim.pending == 0 and sim.pending_active == 0
+    assert sim.events_processed == len(survivors) + 1  # + the massacre
+
+
+def test_mass_cancel_interleaved_with_future_rung(sim):
+    """Cancel storms spanning both rungs (near events being drained,
+    far events still unsorted) must not lose or duplicate fires."""
+    fired = []
+    near = [sim.schedule(1e-6 + i * 1e-9, fired.append, ("near", i))
+            for i in range(200)]
+    far = [sim.schedule(1e-3 + i * 1e-9, fired.append, ("far", i))
+           for i in range(200)]
+
+    def storm():
+        for ev in near[1::2]:
+            ev.cancel()
+        for ev in far[::2]:
+            ev.cancel()
+
+    sim.schedule(5e-7, storm)
+    sim.run()
+    expected = ([("near", i) for i in range(0, 200, 2)]
+                + [("far", i) for i in range(1, 200, 2)])
+    assert fired == expected
+    assert sim.pending == 0 and sim.pending_active == 0
+
+
+def test_long_rung_trims_consumed_prefix():
+    """Draining a rung larger than the trim threshold keeps firing
+    correctly (the calendar drops the consumed prefix mid-rung)."""
+    sim = CalendarSimulator()
+    n = eventq_mod._TRIM_POS + 512
+    fired = []
+    sim.schedule_batch([(1e-6 + i * 1e-9, fired.append, (i,))
+                        for i in range(n)])
+    sim.run()
+    assert fired == list(range(n))
+    assert sim.pending == 0
+
+
+# ---------------------------------------------------------------------------
+# Selection: resolve_eventq / make_simulator / auto commitment
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_default_is_auto(monkeypatch):
+    monkeypatch.delenv("REPRO_EVENTQ", raising=False)
+    assert resolve_eventq() == "auto"
+
+
+def test_resolve_env_and_flag_precedence(monkeypatch):
+    monkeypatch.setenv("REPRO_EVENTQ", "calendar")
+    assert resolve_eventq() == "calendar"
+    assert resolve_eventq("heap") == "heap"  # explicit arg wins
+
+
+def test_resolve_rejects_unknown(monkeypatch):
+    with pytest.raises(SimulationError, match="unknown event queue"):
+        resolve_eventq("splay")
+    monkeypatch.setenv("REPRO_EVENTQ", "nope")
+    with pytest.raises(SimulationError, match="unknown event queue"):
+        resolve_eventq()
+
+
+def test_make_simulator_types(monkeypatch):
+    monkeypatch.delenv("REPRO_EVENTQ", raising=False)
+    assert type(make_simulator("heap")) is Simulator
+    assert type(make_simulator("calendar")) is CalendarSimulator
+    auto = make_simulator("auto")
+    if compiled_available():
+        assert type(auto) is CompiledSimulator
+        assert type(make_simulator("compiled")) is CompiledSimulator
+    else:
+        assert type(auto) is AutoSimulator
+
+
+def test_compiled_request_without_build_raises(monkeypatch):
+    monkeypatch.setattr(eventq_mod, "_ceventq", None)
+    with pytest.raises(SimulationError, match="not.*built"):
+        make_simulator("compiled")
+    # auto degrades silently instead
+    assert type(make_simulator("auto")) is AutoSimulator
+
+
+def test_eventq_names():
+    assert Simulator().eventq_name == "heap"
+    assert CalendarSimulator().eventq_name == "calendar"
+    assert eventq_name(object()) == "object"
+    if compiled_available():
+        assert CompiledSimulator().eventq_name == "calendar-c"
+    assert set(EVENTQ_CHOICES) == {"auto", "heap", "calendar", "compiled"}
+
+
+def test_auto_commits_to_heap_for_small_workloads():
+    sim = AutoSimulator()
+    for i in range(10):
+        sim.schedule(1e-6 * (i + 1), lambda: None)
+    sim.run()
+    assert type(sim) is Simulator
+    assert sim.eventq_name == "heap"
+    assert sim.events_processed == 10
+
+
+def test_auto_commits_to_calendar_for_large_workloads():
+    sim = AutoSimulator()
+    n = eventq_mod._AUTO_PENDING
+    fired = []
+    for i in range(n):
+        sim.schedule(1e-6 + i * 1e-9, fired.append, i)
+    sim.run()
+    assert type(sim) is CalendarSimulator
+    assert sim.eventq_name == "calendar"
+    assert fired == list(range(n))
+    # the committed instance keeps working as a calendar simulator
+    sim.schedule(1e-6, fired.append, "post")
+    sim.run()
+    assert fired[-1] == "post"
+
+
+def test_auto_commit_preserves_pop_order_and_cancels():
+    ref, auto = Simulator(), AutoSimulator()
+    for s in (ref, auto):
+        evs = [s.schedule(1e-6 + (i % 7) * 1e-7, lambda: None, priority=i % 3)
+               for i in range(eventq_mod._AUTO_PENDING + 50)]
+        for ev in evs[::5]:
+            ev.cancel()
+    order_ref, order_auto = [], []
+    while ref.step():
+        order_ref.append(ref.now)
+    while auto.step():
+        order_auto.append(auto.now)
+    assert order_auto == order_ref
+    assert auto.events_processed == ref.events_processed

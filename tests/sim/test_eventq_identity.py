@@ -1,0 +1,57 @@
+"""Bit-identity of real artifacts across event-queue implementations.
+
+``--eventq`` joins ``--jobs`` and ``--shards`` as a pure wall-clock
+knob, so the canonical result payload (the exact bytes the serve
+layer's content-addressed cache stores) must be identical for every
+queue × shard combination.  This is why swapping queues does NOT bump
+``ENGINE_SCHEMA``: same spec ⇒ same digest ⇒ same bytes, whichever
+implementation happened to run the simulation.
+
+One small real run per application (stencil, matmul, openatom), each
+executed under every available queue at ``--shards 1`` and
+``--shards 4``, all compared byte-for-byte against the heap/serial
+reference.
+"""
+
+import pytest
+
+from repro.serve.digest import result_payload
+from repro.sim.eventq import compiled_available
+from repro.sweep import RunSpec, execute_spec
+
+EVENTQS = ["heap", "calendar"] + (["compiled"] if compiled_available() else [])
+
+SPECS = {
+    "stencil": RunSpec.make("stencil", "Abe", "ckd", 8, iterations=2, vr=2),
+    "matmul": RunSpec.make("matmul", "Abe", "ckd", 8, iterations=2),
+    "openatom": RunSpec.make("openatom", "Abe", "ckd", 8, iterations=2),
+}
+
+
+def _payload(monkeypatch, spec, eventq, shards):
+    monkeypatch.setenv("REPRO_EVENTQ", eventq)
+    monkeypatch.setenv("REPRO_SHARDS", str(shards))
+    result = execute_spec(spec)
+    assert result.ok, result.error
+    return result_payload([result])
+
+
+@pytest.fixture(scope="module")
+def references(request):
+    """Heap/serial payload bytes per app, computed once."""
+    mp = pytest.MonkeyPatch()
+    request.addfinalizer(mp.undo)
+    return {app: _payload(mp, spec, "heap", 1)
+            for app, spec in SPECS.items()}
+
+
+@pytest.mark.parametrize("app", sorted(SPECS))
+@pytest.mark.parametrize("eventq", EVENTQS)
+@pytest.mark.parametrize("shards", [1, 4])
+def test_payload_bytes_identical(references, monkeypatch, app, eventq, shards):
+    if eventq == "heap" and shards == 1:
+        return  # the reference itself
+    payload = _payload(monkeypatch, SPECS[app], eventq, shards)
+    assert payload == references[app], (
+        f"{app} bytes diverged under eventq={eventq} shards={shards}"
+    )
