@@ -38,10 +38,10 @@ SHARDS = (1, 2, 4, 8)
 TARGET_SPEEDUP = 2.5
 
 
-def _measure(shards: int) -> dict:
+def _measure(shards: int, engine: str = None) -> dict:
     t0 = time.perf_counter()
     r = run_stencil(ABE, PES, iterations=ITERATIONS, mode="ckd",
-                    shards=shards, keep_runtime=True)
+                    shards=shards, engine=engine, keep_runtime=True)
     wall = time.perf_counter() - t0
     return {
         "shards": shards,
@@ -50,6 +50,8 @@ def _measure(shards: int) -> dict:
         "events": r.events,
         "iter_times": r.iter_times,
         "mean_iter_ms": round(r.mean_iter_time * 1e3, 6),
+        "rounds": r.runtime.parallel_rounds,
+        "timewarp": r.runtime.timewarp_stats,
     }
 
 
@@ -122,4 +124,86 @@ def test_shard_speedup_full_scale_stencil():
         assert wall_speedup >= TARGET_SPEEDUP, (
             f"elapsed speedup at 4 shards is {wall_speedup:.2f}x on a "
             f"{cores}-core host, target {TARGET_SPEEDUP}x"
+        )
+
+
+def test_optimistic_vs_conservative_full_scale_stencil():
+    """Time Warp vs epoch windows at 4 shards on the full-scale point.
+
+    The optimistic engine's win is *synchronization elimination*: the
+    adaptive horizon merges quiet conservative windows into wide
+    speculative ones, cutting coordinator barriers about threefold
+    while staying bit-identical with zero-to-few rollbacks (ABE's
+    InfiniBand delta is small, so conservative windows are narrow and
+    plentiful — the low-lookahead regime Time Warp targets).  Each
+    barrier costs a pipe round-trip per shard, so on a host with
+    enough cores for the shards the round reduction is a wall-clock
+    win; on a single-core CI container the shards time-share the core
+    and wall-clock physically tracks summed CPU instead, so — exactly
+    like the shard-speedup test above — the wall assertion is gated on
+    the core count and the core-independent mechanism (round ratio,
+    CPU parity, identity) is asserted always.
+    """
+    cons = _measure(4)
+    opt = _measure(4, engine="optimistic")
+
+    stats = opt["timewarp"]
+    cores = os.cpu_count() or 1
+    lines = [
+        f"Time Warp engine: stencil ckd, {PES} PEs full-scale "
+        f"({ITERATIONS} iterations, 4 shards, host cores: {cores})",
+        "=" * 66,
+        f"{'engine':>12}  {'wall s':>8}  {'crit cpu s':>10}  "
+        f"{'rounds':>7}  {'events':>9}",
+        f"{'conservative':>12}  {cons['wall_s']:>8.3f}  "
+        f"{cons['crit_cpu_s']:>10.3f}  {cons['rounds']:>7}  "
+        f"{cons['events']:>9}",
+        f"{'optimistic':>12}  {opt['wall_s']:>8.3f}  "
+        f"{opt['crit_cpu_s']:>10.3f}  {opt['rounds']:>7}  "
+        f"{opt['events']:>9}",
+        f"rollbacks={stats['rollbacks']} antis={stats['antis']} "
+        f"checkpoints={stats['checkpoints']} "
+        f"events_rolled_back={stats['events_rolled_back']}",
+    ]
+    save_report("timewarp_engine", "\n".join(lines))
+
+    path = BENCH_JSON_DEFAULT
+    entries = []
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+            entries = data if isinstance(data, list) else []
+        except (OSError, ValueError):
+            entries = []
+    entries.append({
+        "kind": "timewarp_engine",
+        "point": f"stencil ckd {PES} PEs full-scale, {ITERATIONS} iters, "
+                 "4 shards",
+        "cpu_count": cores,
+        "conservative": {k: cons[k] for k in
+                         ("wall_s", "crit_cpu_s", "rounds", "events")},
+        "optimistic": {k: opt[k] for k in
+                       ("wall_s", "crit_cpu_s", "rounds", "events")},
+        "round_ratio": round(cons["rounds"] / opt["rounds"], 2),
+        "timewarp_stats": stats,
+    })
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(entries, indent=2) + "\n")
+
+    # Bit-identity across engine modes.
+    assert opt["iter_times"] == cons["iter_times"]
+    assert opt["events"] == cons["events"]
+    # The mechanism: at least a 2x barrier reduction at CPU parity.
+    assert opt["rounds"] * 2 <= cons["rounds"], (
+        f"optimistic ran {opt['rounds']} GVT rounds vs "
+        f"{cons['rounds']} conservative windows — expected >= 2x fewer"
+    )
+    assert opt["crit_cpu_s"] <= cons["crit_cpu_s"] * 1.35, (
+        f"optimistic critical-path CPU {opt['crit_cpu_s']:.2f}s exceeds "
+        f"conservative {cons['crit_cpu_s']:.2f}s by more than 35%"
+    )
+    if cores >= 4:
+        assert opt["wall_s"] < cons["wall_s"], (
+            f"optimistic wall {opt['wall_s']:.2f}s did not beat "
+            f"conservative {cons['wall_s']:.2f}s on a {cores}-core host"
         )

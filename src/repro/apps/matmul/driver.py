@@ -63,6 +63,7 @@ def run_matmul(
     faults: Optional[str] = None,
     fault_seed: int = 0x0FA11,
     shards: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> MatMulResult:
     """One matmul run on ``n_pes`` PEs with a ``c^3`` chare grid.
 
@@ -78,7 +79,8 @@ def run_matmul(
     side = c if c is not None else choose_side(N, n_pes)
     spec = MatMulSpec(N, side)
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
-    rt = Runtime(machine, n_pes, fault_plan=plan, shards=resolve_shards(shards))
+    rt = Runtime(machine, n_pes, fault_plan=plan,
+                 shards=resolve_shards(shards), engine=engine)
     monitor = IterationMonitor(rt, None, iterations)
     arr = rt.create_array(
         cls,

@@ -49,6 +49,9 @@ class OpenAtomMonitor:
         self.pc_proxy = None
         self.barriers_seen = 0
         self.marks: List[float] = []
+        # Host callbacks mutate this object; the optimistic engine
+        # must checkpoint it alongside chare state.
+        rt.register_host_state(self)
 
     def on_barrier(self, _value=None) -> None:
         """Barrier-release hook: record the time, start the next step."""
@@ -96,6 +99,7 @@ def run_openatom(
     faults: Optional[str] = None,
     fault_seed: int = 0x0FA11,
     shards: Optional[int] = None,
+    engine: Optional[str] = None,
     **cfg_overrides,
 ) -> OpenAtomResult:
     """One OpenAtom mini-app run.
@@ -114,7 +118,8 @@ def run_openatom(
         cfg = dataclasses.replace(cfg, **cfg_overrides)
     gs_cls, pc_cls = MODES[mode]
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
-    rt = Runtime(machine, n_pes, fault_plan=plan, shards=resolve_shards(shards))
+    rt = Runtime(machine, n_pes, fault_plan=plan,
+                 shards=resolve_shards(shards), engine=engine)
     monitor = OpenAtomMonitor(rt, cfg.iterations)
     gs = rt.create_array(
         gs_cls, dims=(cfg.nstates, cfg.nplanes), ctor_args=(cfg, monitor)

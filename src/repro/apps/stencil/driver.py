@@ -65,6 +65,7 @@ def run_stencil(
     faults: Optional[str] = None,
     fault_seed: int = 0x0FA11,
     shards: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> StencilResult:
     """One stencil run.  ``vr`` chares per PE, near-cubic blocks.
 
@@ -74,6 +75,9 @@ def run_stencil(
 
     ``shards`` (or ``REPRO_SHARDS``) selects the sharded parallel
     engine — bit-identical results, partitioned wall-clock work.
+    ``engine`` (or ``REPRO_ENGINE``) picks its synchronization mode:
+    ``conservative`` epoch windows (default) or ``optimistic`` Time
+    Warp speculation with rollback.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {sorted(MODES)}, got {mode!r}")
@@ -81,7 +85,8 @@ def run_stencil(
     n_chares = n_pes * vr
     grid = choose_grid(domain, n_chares)
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
-    rt = Runtime(machine, n_pes, fault_plan=plan, shards=resolve_shards(shards))
+    rt = Runtime(machine, n_pes, fault_plan=plan,
+                 shards=resolve_shards(shards), engine=engine)
     monitor_box: list = []
 
     # The monitor needs the proxy, the array ctor needs the monitor:

@@ -83,11 +83,21 @@ class Runtime:
         fault_plan: Optional["FaultPlan"] = None,
         reliability: Optional["ReliabilityParams"] = None,
         shards: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if n_pes <= 0:
             raise CharmError(f"n_pes must be positive, got {n_pes}")
         if shards is not None and shards < 1:
             raise CharmError(f"shards must be >= 1, got {shards}")
+        from ..sim.timewarp import resolve_engine
+
+        #: parallel-engine mode: "conservative" (epoch windows) or
+        #: "optimistic" (Time Warp).  Resolved flag > REPRO_ENGINE >
+        #: default; only consulted when the sharded engine is armed —
+        #: fault/reliability runs fall back to the legacy serial path
+        #: regardless of the mode (same rule as the conservative
+        #: engine's fallback).
+        self.engine = resolve_engine(engine)
         self.machine = machine
         # Honors REPRO_EVENTQ / --eventq; every implementation pops
         # the same (time, priority, seq) order, so results are
@@ -139,6 +149,36 @@ class Runtime:
         self.shard_id = 0
         #: per-shard CPU seconds of the last sharded run (bench metric).
         self.shard_cpu_times: Optional[List[float]] = None
+        #: next CkDirect handle id.  Per-runtime (not module-global) so
+        #: the Time Warp engine can checkpoint it: a rolled-back replay
+        #: then re-creates handles under their original ids, keeping
+        #: regenerated cross-shard sends byte-identical.
+        self._next_hid = 1
+        #: Host-side objects mutated by host callbacks (iteration
+        #: monitors and the like), registered via register_host_state().
+        #: The Time Warp engine snapshots/restores their __dict__ along
+        #: with chare state so speculatively executed host callbacks
+        #: roll back cleanly; other engines ignore the registry.
+        self._tw_host_state: List[Any] = []
+        #: Under the optimistic engine: every CkDirectHandle this
+        #: process ever constructed, by object id (the constructor
+        #: registers itself).  Checkpoint capture snapshots this
+        #: registry directly instead of re-discovering handles by
+        #: walking every chare attribute — the walk costs ~1 s per
+        #: capture at 1024-PE scale and rediscovers the same handles
+        #: every time.  None under other engines (no registration, no
+        #: strong-ref growth).
+        self._tw_handles: Optional[Dict[int, Any]] = (
+            {} if self.engine == "optimistic" else None
+        )
+        #: rollback/GVT counters of the last optimistic run (dict), or
+        #: None when the last run used another engine.
+        self.timewarp_stats: Optional[Dict[str, int]] = None
+        #: synchronization rounds of the last sharded run (conservative
+        #: epoch windows or optimistic GVT rounds), or None when the
+        #: last run was serial.  The round count is the engine-mode
+        #: comparison metric: each round is one coordinator barrier.
+        self.parallel_rounds: Optional[int] = None
         if shards is not None and self.fault_injector is None \
                 and self.reliability is None:
             # Engine semantics: requested explicitly and no fault/
@@ -224,6 +264,26 @@ class Runtime:
         pe = self.current_pe
         at = pe.cursor if pe is not None else self.sim.now
         self.sim.at(at, fn, *args)
+
+    def register_host_state(self, obj: Any) -> None:
+        """Declare a host-side object whose state host callbacks mutate.
+
+        Host callbacks (e.g. iteration monitors reacting to barriers)
+        run eagerly even under the optimistic engine, because they may
+        drive further progress (broadcasting the next iteration).  Any
+        object they mutate must be registered here so the Time Warp
+        checkpoints cover it; side effects outside registered objects
+        and the runtime cannot be rolled back.  Registration is cheap
+        and a no-op under the serial and conservative engines.
+        """
+        if not any(o is obj for o in self._tw_host_state):
+            self._tw_host_state.append(obj)
+
+    def _alloc_hid(self) -> int:
+        """Allocate the next CkDirect handle id."""
+        hid = self._next_hid
+        self._next_hid += 1
+        return hid
 
     # ------------------------------------------------------------------
     # Messaging
@@ -416,6 +476,9 @@ class Runtime:
         bounded runs (``until``/``max_events``) stay in-process.
         """
         if self.fabric._engine and until is None and max_events is None:
+            if self.engine == "optimistic":
+                from ..sim.timewarp import run_timewarp
+                return run_timewarp(self)
             from ..sim.parallel import run_sharded
             return run_sharded(self)
         if self._pending_host_sends or self._defer_host_sends:

@@ -34,13 +34,21 @@ implementation backing every simulator — ``heap`` (the reference),
 core, when built), or ``auto`` (the default) — again with
 byte-identical output, so it is the third pure wall-clock knob.
 
-Precedence for all three knobs is **flag over environment over
-default**: an explicit ``--jobs``/``--shards``/``--eventq`` always
-wins (the flag is exported into the matching env var so
-indirectly-run sweeps see it too); ``REPRO_JOBS``/``REPRO_SHARDS``/
-``REPRO_EVENTQ`` apply only when the flag is absent.  Values below 1,
-non-integer env strings, or unknown queue names are rejected with a
-one-line error, never silently clamped.
+``--engine MODE`` (or ``REPRO_ENGINE=MODE``) selects the parallel
+engine's synchronization mode — ``conservative`` lookahead windows
+(the default) or ``optimistic`` Time Warp speculation with rollback
+and anti-messages; output is byte-identical for either mode, making
+it the fourth pure wall-clock knob (it matters only with
+``--shards``).
+
+Precedence for all four knobs is **flag over environment over
+default**: an explicit ``--jobs``/``--shards``/``--eventq``/
+``--engine`` always wins (the flag is exported into the matching env
+var so indirectly-run sweeps see it too); ``REPRO_JOBS``/
+``REPRO_SHARDS``/``REPRO_EVENTQ``/``REPRO_ENGINE`` apply only when
+the flag is absent.  Values below 1, non-integer env strings, or
+unknown queue/engine names are rejected with a one-line error, never
+silently clamped.
 
 ``repro serve`` starts the async simulation job server (persistent
 content-addressed result cache + bounded SweepRunner pool) and
@@ -71,6 +79,7 @@ from .bench import (
 from .network.params import MACHINES
 from .projections.eventlog import EventLog, install_tracer, uninstall_tracer
 from .sim.eventq import EVENTQ_CHOICES
+from .sim.timewarp import ENGINE_CHOICES
 from .projections.export import write_chrome_trace
 
 ARTIFACTS = {
@@ -143,6 +152,13 @@ def _parser() -> argparse.ArgumentParser:
                         "heap (reference), calendar (pure Python), or "
                         "compiled (default: $REPRO_EVENTQ; output is "
                         "identical for every choice)")
+    p.add_argument("--engine", default=None, metavar="MODE",
+                   choices=list(ENGINE_CHOICES),
+                   help="parallel-engine synchronization mode: "
+                        "conservative (epoch windows, the default) or "
+                        "optimistic (Time Warp speculation with "
+                        "rollback; default: $REPRO_ENGINE; output is "
+                        "identical for either mode)")
     return p
 
 
@@ -211,6 +227,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # construction (make_simulator), so the flag reaches every
         # run, including shard workers forked by the parallel engine.
         os.environ["REPRO_EVENTQ"] = args.eventq
+    if args.engine is not None:
+        # Runtimes resolve their engine mode from REPRO_ENGINE at
+        # construction; only meaningful together with --shards (the
+        # serial engine has nothing to synchronize).
+        os.environ["REPRO_ENGINE"] = args.engine
 
     if args.artifact == "list":
         entries = {**ARTIFACTS, **COMMANDS}

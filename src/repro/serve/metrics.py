@@ -13,7 +13,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Tuple
 
-from ..sim.eventq import eventq_name, make_simulator
+from ..sim.eventq import resolved_eventq_name
+from ..sim.timewarp import resolve_engine
 from ..sim.trace import RunningStats
 from ..util.stats import LatencyHistogram
 
@@ -37,8 +38,11 @@ class ServeMetrics:
         self.sim_events = 0
         self.sim_wall_s = 0.0
         # Workers fork from this process, so the queue implementation
-        # resolved here (REPRO_EVENTQ) is the one every job runs on.
-        self.eventq = eventq_name(make_simulator())
+        # and engine mode resolved here (REPRO_EVENTQ / REPRO_ENGINE)
+        # are the ones every job runs on.  Name resolution is direct —
+        # no throwaway simulator needs to be built to learn it.
+        self.eventq = resolved_eventq_name()
+        self.engine = resolve_engine()
         # per-(kind, hit|miss) latency
         self._hist: Dict[Tuple[str, str], LatencyHistogram] = {}
         self._stats: Dict[Tuple[str, str], RunningStats] = {}
@@ -82,6 +86,7 @@ class ServeMetrics:
             },
             "engine": {
                 "eventq": self.eventq,
+                "mode": self.engine,
                 "events": self.sim_events,
                 "events_per_s": (
                     round(self.sim_events / self.sim_wall_s, 1)

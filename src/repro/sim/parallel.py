@@ -231,6 +231,17 @@ def deliver_remote(rt: "Runtime", dst_rank: int, desc: tuple) -> None:
         _, hid, snap = desc
         handle = rt._handles.get(hid)
         if handle is None:
+            if rt.engine == "optimistic":
+                # Mis-speculation artifact: a rollback restored the
+                # handle registry below this put's creation point, so
+                # the record belongs to a dead timeline.  A committed
+                # put's handle registration strictly precedes its
+                # arrival (positive latency along the causal chain),
+                # and the anti-message that cancels this record always
+                # forces a rollback below the current clock — so the
+                # skip itself is guaranteed to be rolled back too.
+                rt.trace.count("timewarp_misspec_puts")
+                return
             raise ParallelEngineError(
                 f"cross-shard put for unknown handle #{hid} on "
                 f"shard {rt.shard_id}"
@@ -456,7 +467,9 @@ def run_sharded(rt: "Runtime") -> float:
                     return s
             raise ParallelEngineError(f"PE {rank} outside every shard")
 
+        rounds = 0
         while True:
+            rounds += 1
             nexts = [sim.next_event_time()]
             outboxes = [[encode_record(r) for r in fab.take_outbox()]]
             for s, conn in enumerate(conns, start=1):
@@ -490,6 +503,7 @@ def run_sharded(rt: "Runtime") -> float:
             _merge_final(rt, msg[1])
             cpu.append(msg[1]["cpu"])
         rt.shard_cpu_times = cpu
+        rt.parallel_rounds = rounds
     finally:
         for conn in conns:
             try:
