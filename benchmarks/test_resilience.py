@@ -1,0 +1,273 @@
+"""Benchmark: supervision + checksum cost on the clean path, and the
+measured price of recovering a SIGKILL'd shard.
+
+Two claims from the resilience layer are pinned here, both on the
+paper's full-scale stencil point (1024 PEs, 4 shards):
+
+* **The clean path is free** — heartbeats piggyback on the barrier
+  messages the engines already exchange, and result verification is
+  one sha256 per job, so a fault-free supervised run with a verifying
+  :class:`ResultStore` costs < 3% extra.  What "extra" means depends
+  on the host, exactly as in the parallel-engine benchmark: the
+  supervised topology adds a pure-coordinator process (legacy runs
+  shard 0 inside the coordinator), so on a box with a core to spare
+  the coordinator's routing overlaps shard compute and *wall-clock*
+  carries the claim; a single-core CI container time-shares that
+  extra hop and wall physically reflects shard 0's pipe
+  serialization instead.  The always-on assertions are therefore the
+  core-count-independent costs — per-worker CPU (the piggybacked
+  heartbeat, measured on the forked shards 1..N-1, which do
+  bit-identical work in both modes) and the checksum's share of the
+  clean path — while the end-to-end wall bar is asserted when the
+  host has cores for all shards plus the coordinator.  Wall numbers
+  are reported and recorded unconditionally so the trajectory shows
+  the single-core premium too.
+* **Recovery works at scale and its cost is bounded** — SIGKILL-ing
+  one shard worker mid-run (both engines) restarts + replays that
+  shard and finishes with output identical to the serial baseline;
+  the wall-clock premium over a clean run is reported (the replayed
+  shard re-executes its whole window stream, so the premium is
+  roughly one shard's share of the run).
+
+Both tables land in ``benchmarks/results/`` and the numbers are
+appended to ``BENCH_sweeps.json`` (kind ``resilience``).
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import json
+import os
+import time
+
+from conftest import BENCH_JSON_DEFAULT, record_stage, save_report
+from repro.apps.stencil.driver import run_stencil
+from repro.faults import ProcFaultPlan
+from repro.network.params import ABE
+from repro.serve.store import ResultStore
+
+PES = 1024
+ITERATIONS = 2
+SHARDS = 4
+ROUNDS = 4  # best-of, interleaved; even so both arms lead equally often
+OVERHEAD_BAR = 3.0  # percent
+
+
+def _run(shards=SHARDS, engine=None, proc_faults=None):
+    return run_stencil(ABE, PES, iterations=ITERATIONS, mode="ckd",
+                       shards=shards, engine=engine,
+                       proc_faults=proc_faults, keep_runtime=True)
+
+
+def _fingerprint(r) -> str:
+    """Digest of the run's observable output at full scale (the grids
+    are virtual at 1024 PEs, so identity is iteration times + events —
+    the same oracle the parallel-engine benchmark pins)."""
+    doc = {"iter_times": r.iter_times, "events": r.events}
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode()).hexdigest()
+
+
+def _append_entry(payload: dict) -> None:
+    entries = []
+    if BENCH_JSON_DEFAULT.exists():
+        try:
+            data = json.loads(BENCH_JSON_DEFAULT.read_text())
+            entries = data if isinstance(data, list) else []
+        except (OSError, ValueError):
+            entries = []
+    entries.append(payload)
+    BENCH_JSON_DEFAULT.parent.mkdir(exist_ok=True)
+    BENCH_JSON_DEFAULT.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Clean-path overhead: supervision on + verified store vs both off
+# ---------------------------------------------------------------------------
+
+
+def _clean_path(tmp_path, resilient: bool, tag: str) -> dict:
+    """One full clean path: supervised (or not) sharded run, result
+    payload stored and read back through a (verifying or not) store."""
+    env_before = os.environ.get("REPRO_SUPERVISE")
+    os.environ["REPRO_SUPERVISE"] = "1" if resilient else "0"
+    try:
+        t0 = time.perf_counter()
+        r = _run()
+        payload = json.dumps(
+            {"iter_times": r.iter_times, "events": r.events}).encode()
+        digest = hashlib.sha256(payload).hexdigest()
+        s0 = time.perf_counter()
+        store = ResultStore(tmp_path / tag, verify=resilient)
+        store.put(digest, payload)
+        assert store.get(digest) == payload
+        t1 = time.perf_counter()
+    finally:
+        if env_before is None:
+            os.environ.pop("REPRO_SUPERVISE", None)
+        else:
+            os.environ["REPRO_SUPERVISE"] = env_before
+    if resilient:
+        assert r.runtime.supervision is not None
+        assert r.runtime.supervision["restarts"] == 0
+    else:
+        assert r.runtime.supervision is None
+    return {
+        "wall_s": t1 - t0,
+        "store_s": t1 - s0,
+        # shards 1..N-1 are forked children doing bit-identical work
+        # in both modes (legacy folds coordinator routing into its
+        # shard-0 entry, so that slot is not comparable)
+        "worker_cpus": list(r.runtime.shard_cpu_times[1:]),
+    }
+
+
+def _best(rows: list, key: str) -> float:
+    return min(row[key] for row in rows)
+
+
+def _best_worker_cpu(rows: list) -> float:
+    """Sum of each worker's best CPU time across rounds: a time-shared
+    host inflates ``process_time`` with cache-refill noise after
+    context switches, and per-shard minima shed it independently."""
+    per_shard = zip(*(row["worker_cpus"] for row in rows))
+    return sum(min(times) for times in per_shard)
+
+
+def test_clean_path_overhead_under_three_percent(tmp_path):
+    off_rows, on_rows = [], []
+    for i in range(ROUNDS):
+        # Interleaved AND order-alternated: the parent heap grows over
+        # the session (forked children pay for it in COW faults), so a
+        # fixed arm order would bias whichever arm always ran second.
+        arms = [(False, off_rows), (True, on_rows)]
+        for resilient, rows in arms if i % 2 == 0 else reversed(arms):
+            gc.collect()
+            rows.append(_clean_path(tmp_path, resilient,
+                                    f"{'on' if resilient else 'off'}{i}"))
+
+    wall_off, wall_on = _best(off_rows, "wall_s"), _best(on_rows, "wall_s")
+    cpu_off = _best_worker_cpu(off_rows)
+    cpu_on = _best_worker_cpu(on_rows)
+    wall_pct = (wall_on - wall_off) / wall_off * 100.0
+    cpu_pct = (cpu_on - cpu_off) / cpu_off * 100.0
+    # the checksum's share of the clean path: verified store round
+    # trip as a fraction of the whole job
+    store_pct = _best(on_rows, "store_s") / wall_off * 100.0
+    cores = len(os.sched_getaffinity(0))
+
+    report = "\n".join([
+        f"Resilience clean-path overhead: stencil ckd {PES} PEs, "
+        f"{SHARDS} shards (best of {ROUNDS}, host cores: {cores})",
+        "=" * 66,
+        f"{'':>28}  {'wall s':>8}  {'worker cpu s':>12}",
+        f"{'supervision off, unverified':>28}  {wall_off:>8.3f}  "
+        f"{cpu_off:>12.3f}",
+        f"{'supervision on, verified':>28}  {wall_on:>8.3f}  "
+        f"{cpu_on:>12.3f}",
+        f"{'overhead':>28}  {wall_pct:>+7.2f}%  {cpu_pct:>+11.2f}%",
+        f"checksum store round-trip: {store_pct:.4f}% of the clean path",
+    ])
+    save_report("resilience_overhead", report)
+    stage = {
+        "wall_off_s": round(wall_off, 3),
+        "wall_on_s": round(wall_on, 3),
+        "wall_overhead_pct": round(wall_pct, 2),
+        "worker_cpu_off_s": round(cpu_off, 3),
+        "worker_cpu_on_s": round(cpu_on, 3),
+        "worker_cpu_overhead_pct": round(cpu_pct, 2),
+        "store_share_pct": round(store_pct, 4),
+        "cpu_count": cores,
+    }
+    record_stage("resilience_overhead", stage)
+    _append_entry({
+        "kind": "resilience",
+        "point": f"stencil ckd {PES} PEs full-scale, {ITERATIONS} iters, "
+                 f"{SHARDS} shards",
+        "clean_path": stage,
+    })
+
+    # Core-count-independent costs: the piggybacked heartbeat on the
+    # workers, and the checksum's share of the job.
+    assert cpu_pct < OVERHEAD_BAR, (
+        f"per-worker supervision overhead regressed: {cpu_pct:+.2f}% "
+        f"({cpu_off:.3f}s -> {cpu_on:.3f}s)"
+    )
+    assert store_pct < OVERHEAD_BAR, (
+        f"checksum store round-trip is {store_pct:.2f}% of the clean path"
+    )
+    # End-to-end wall needs a core for every shard plus the
+    # coordinator; below that the extra process time-shares and wall
+    # measures shard 0's pipe serialization, not the heartbeat.
+    if cores >= SHARDS + 1:
+        assert wall_pct < OVERHEAD_BAR, (
+            f"supervised clean path regressed: {wall_pct:+.2f}% "
+            f"({wall_off:.3f}s -> {wall_on:.3f}s) on a {cores}-core host"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Recovery cost: kill-shard vs clean at 4 shards, both engines
+# ---------------------------------------------------------------------------
+
+
+def test_recovery_cost_kill_shard_full_scale():
+    serial = _run(shards=1)
+    reference = _fingerprint(serial)
+
+    rows = []
+    for engine in (None, "optimistic"):
+        label = engine or "conservative"
+        t0 = time.perf_counter()
+        clean = _run(engine=engine)
+        clean_wall = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        killed = _run(engine=engine,
+                      proc_faults=ProcFaultPlan.named("kill-shard"))
+        killed_wall = time.perf_counter() - t0
+
+        sup = killed.runtime.supervision
+        assert sup["restarts"] == 1 and sup["crashes"] == 1, (
+            f"{label}: expected exactly one supervised restart, got {sup}"
+        )
+        assert not sup["degraded"]
+        # The acceptance bar: recovery is invisible in the output.
+        assert _fingerprint(clean) == reference, f"{label} clean diverged"
+        assert _fingerprint(killed) == reference, (
+            f"{label}: recovered run is not identical to the serial baseline"
+        )
+        rows.append({
+            "engine": label,
+            "clean_wall_s": round(clean_wall, 3),
+            "killed_wall_s": round(killed_wall, 3),
+            "recovery_premium_pct": round(
+                (killed_wall - clean_wall) / clean_wall * 100.0, 1),
+            "restarts": sup["restarts"],
+        })
+
+    lines = [
+        f"Recovery cost: SIGKILL one of {SHARDS} shards, stencil ckd "
+        f"{PES} PEs full-scale (host cores: {os.cpu_count()})",
+        "=" * 66,
+        f"{'engine':>12}  {'clean s':>8}  {'killed s':>9}  "
+        f"{'premium':>8}  {'restarts':>8}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['engine']:>12}  {row['clean_wall_s']:>8.3f}  "
+            f"{row['killed_wall_s']:>9.3f}  "
+            f"{row['recovery_premium_pct']:>+7.1f}%  {row['restarts']:>8}"
+        )
+    lines.append("output identical to the 1-shard serial baseline "
+                 "in every cell")
+    save_report("resilience_recovery", "\n".join(lines))
+    record_stage("resilience_recovery", rows)
+    _append_entry({
+        "kind": "resilience_recovery",
+        "point": f"stencil ckd {PES} PEs full-scale, {ITERATIONS} iters, "
+                 f"{SHARDS} shards, kill-shard",
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+    })

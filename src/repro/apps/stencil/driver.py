@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple, Type
 import numpy as np
 
 from ...charm import Runtime
-from ...faults import FaultPlan
+from ...faults import FaultPlan, ProcFaultPlan
 from ...network.params import MachineParams
 from ...sim.parallel import resolve_shards
 from ...util.stats import percent_improvement
@@ -66,6 +66,7 @@ def run_stencil(
     fault_seed: int = 0x0FA11,
     shards: Optional[int] = None,
     engine: Optional[str] = None,
+    proc_faults: Optional["ProcFaultPlan"] = None,
 ) -> StencilResult:
     """One stencil run.  ``vr`` chares per PE, near-cubic blocks.
 
@@ -86,7 +87,8 @@ def run_stencil(
     grid = choose_grid(domain, n_chares)
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
     rt = Runtime(machine, n_pes, fault_plan=plan,
-                 shards=resolve_shards(shards), engine=engine)
+                 shards=resolve_shards(shards), engine=engine,
+                 proc_faults=proc_faults)
     monitor_box: list = []
 
     # The monitor needs the proxy, the array ctor needs the monitor:

@@ -288,6 +288,174 @@ def run_chaos(
     return {"ok": ok, "rows": rows, "report": _render(rows, ok)}
 
 
+# ---------------------------------------------------------------------------
+# Process-scope chaos (``repro chaos --proc``)
+# ---------------------------------------------------------------------------
+
+#: Expected supervision activity per worker profile: (min restarts,
+#: max restarts).  ``slow-worker`` must *not* trip the hang detector.
+_PROC_EXPECT: Dict[str, Tuple[int, int]] = {
+    "kill-shard": (1, 10),
+    "hang-shard": (1, 10),
+    "slow-worker": (0, 0),
+}
+
+#: Engines each worker profile is exercised under.
+_PROC_ENGINES: Tuple[str, ...] = ("conservative", "optimistic")
+
+
+def _proc_worker_row(profile: str, engine: str, shards: int,
+                     clean: Dict[str, Any]) -> Dict[str, Any]:
+    """One supervised faulted run vs the clean serial baseline."""
+    from ..apps.stencil.driver import gather_grid, run_stencil
+    from ..faults.plan import ProcFaultPlan
+    from ..network.params import MACHINES
+
+    r = run_stencil(
+        MACHINES[CHAOS_MACHINE], CHAOS_PES, mode="ckd", validate=True,
+        keep_runtime=True, shards=shards, engine=engine,
+        proc_faults=ProcFaultPlan.named(profile),
+        **CHAOS_CONFIGS["stencil"],
+    )
+    sup = r.runtime.supervision or {}
+    lo, hi = _PROC_EXPECT[profile]
+    restarts = sup.get("restarts", 0)
+    return {
+        "profile": profile,
+        "engine": engine,
+        "restarts": restarts,
+        "crashes": sup.get("crashes", 0),
+        "hangs": sup.get("hangs", 0),
+        "degraded": sup.get("degraded", False),
+        "recovered": lo <= restarts <= hi and not sup.get("degraded", False),
+        "bit_identical": (_digest([gather_grid(r)]) == clean["digest"]
+                          and r.events == clean["events"]),
+    }
+
+
+def _corrupt_object_row(fault_seed: int) -> Dict[str, Any]:
+    """Self-healing store round-trip: corrupt on disk -> quarantined,
+    never served -> recomputed -> identical bytes, healed."""
+    import tempfile
+
+    from ..serve.digest import job_digest, result_payload
+    from ..serve.store import ResultStore
+
+    spec = RunSpec.make("chaos", CHAOS_MACHINE, "stencil", CHAOS_PES,
+                        profile=CLEAN, fault_seed=fault_seed)
+    payload = result_payload(
+        SweepRunner(jobs=1, label="proc-chaos").run([spec]))
+    digest = job_digest([spec])
+    with tempfile.TemporaryDirectory() as root:
+        store = ResultStore(root)
+        store.put(digest, payload)
+        path = store._path(digest)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x40  # one flipped bit on disk
+        path.write_bytes(bytes(raw))
+        never_served = store.get(digest) is None
+        quarantined = store.corruptions == 1 and store.quarantined == 1
+        # The caller's cache-miss path: recompute and re-put.
+        repayload = result_payload(
+            SweepRunner(jobs=1, label="proc-chaos").run([spec]))
+        store.put(digest, repayload)
+        healed = store.healed == 1
+        served = store.get(digest)
+        bit_identical = served == payload and repayload == payload
+    return {
+        "profile": "corrupt-object",
+        "engine": "store",
+        "restarts": 0,
+        "crashes": 0,
+        "hangs": 0,
+        "degraded": False,
+        "recovered": never_served and quarantined and healed,
+        "bit_identical": bool(bit_identical),
+    }
+
+
+def run_proc_chaos(
+    profiles: Optional[Sequence[str]] = None,
+    shards: int = 2,
+    fault_seed: int = 0x0FA11,
+    hang_deadline_s: float = 3.0,
+) -> Dict[str, Any]:
+    """Run the process-scope chaos matrix; ``{"ok", "rows", "report"}``.
+
+    Unlike :func:`run_chaos` the points run inline, sequentially: a
+    sweep worker is daemonic and may not fork shard children of its
+    own, and these faults target *real* processes, not the simulated
+    fabric.  ``hang_deadline_s`` temporarily lowers
+    ``REPRO_SHARD_DEADLINE`` so the hang profile converges in seconds
+    (an explicit user setting wins).
+    """
+    import os
+
+    from ..faults.plan import PROC_PROFILES
+    from ..network.params import MACHINES
+
+    profiles = list(profiles if profiles is not None else
+                    sorted(PROC_PROFILES))
+    for prof in profiles:
+        if prof not in PROC_PROFILES:
+            raise ValueError(
+                f"unknown proc profile {prof!r}; known: "
+                f"{sorted(PROC_PROFILES)}"
+            )
+
+    clean = chaos_point(
+        MACHINES[CHAOS_MACHINE], "stencil", CHAOS_PES, CLEAN, fault_seed,
+    )
+    rows: List[Dict[str, Any]] = []
+    had_deadline = os.environ.get("REPRO_SHARD_DEADLINE")
+    try:
+        if had_deadline is None:
+            os.environ["REPRO_SHARD_DEADLINE"] = str(hang_deadline_s)
+        for prof in profiles:
+            if prof == "corrupt-object":
+                rows.append(_corrupt_object_row(fault_seed))
+                continue
+            for engine in _PROC_ENGINES:
+                rows.append(_proc_worker_row(prof, engine, shards, clean))
+    finally:
+        if had_deadline is None:
+            os.environ.pop("REPRO_SHARD_DEADLINE", None)
+
+    ok = all(r["recovered"] and r["bit_identical"] for r in rows)
+    return {"ok": ok, "rows": rows,
+            "report": _render_proc(rows, ok, shards)}
+
+
+def _render_proc(rows: List[Dict[str, Any]], ok: bool, shards: int) -> str:
+    title = (f"Process chaos: shard supervision + self-healing store "
+             f"({CHAOS_MACHINE}, {CHAOS_PES} PEs, stencil, "
+             f"{shards} shards)")
+    cols = ["profile", "engine", "restarts", "crashes", "hangs",
+            "degraded", "recovered", "bit-id"]
+    table: List[List[str]] = [cols]
+    for r in rows:
+        table.append([
+            r["profile"], r["engine"], str(r["restarts"]),
+            str(r["crashes"]), str(r["hangs"]),
+            "yes" if r["degraded"] else "no",
+            "yes" if r["recovered"] else "NO",
+            "yes" if r["bit_identical"] else "NO",
+        ])
+    widths = [max(len(row[i]) for row in table) for i in range(len(cols))]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(c.ljust(w) for c, w in zip(table[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    lines.append(
+        "proc oracle: PASS — every fault recovered with bit-identical "
+        "output" if ok else
+        "proc oracle: FAIL — at least one fault was not survived "
+        "(see recovered / bit-id columns)"
+    )
+    return "\n".join(lines)
+
+
 def _render(rows: List[Dict[str, Any]], ok: bool) -> str:
     title = (f"Chaos oracle: apps x fault profiles "
              f"({CHAOS_MACHINE}, {CHAOS_PES} PEs, ckd mode)")

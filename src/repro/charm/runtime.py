@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Type
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..faults.plan import FaultPlan, ReliabilityParams
+    from ..faults.plan import FaultPlan, ProcFaultPlan, ReliabilityParams
     from .section import ArraySection
 
 from ..network import Fabric, MachineParams, make_fabric
@@ -84,6 +84,7 @@ class Runtime:
         reliability: Optional["ReliabilityParams"] = None,
         shards: Optional[int] = None,
         engine: Optional[str] = None,
+        proc_faults: Optional["ProcFaultPlan"] = None,
     ) -> None:
         if n_pes <= 0:
             raise CharmError(f"n_pes must be positive, got {n_pes}")
@@ -179,6 +180,15 @@ class Runtime:
         #: last run was serial.  The round count is the engine-mode
         #: comparison metric: each round is one coordinator barrier.
         self.parallel_rounds: Optional[int] = None
+        #: process-scope chaos plan (``repro chaos --proc``): rules that
+        #: SIGKILL/wedge/slow shard *workers* at epoch barriers.  Read
+        #: by the workers themselves; None = no process faults.
+        self.proc_faults = proc_faults
+        #: supervision report of the last sharded run (restarts,
+        #: crash/hang counts, degraded flag — see
+        #: :meth:`repro.resilience.ShardSupervisor.report`), or None
+        #: when the run was serial or supervision was off.
+        self.supervision: Optional[Dict[str, Any]] = None
         if shards is not None and self.fault_injector is None \
                 and self.reliability is None:
             # Engine semantics: requested explicitly and no fault/

@@ -127,9 +127,16 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--app", default="pingpong",
                    choices=["pingpong", "stencil", "openatom"],
                    help="application for `profile`")
-    p.add_argument("--faults", default="all", metavar="PROFILES",
+    p.add_argument("--faults", default=None, metavar="PROFILES",
                    help="comma-separated fault profiles for `chaos` "
-                        "(default: all built-in profiles)")
+                        "(default: all built-in fabric profiles)")
+    p.add_argument("--proc", default=None, metavar="PROFILES",
+                   help="comma-separated process-scope chaos profiles "
+                        "for `chaos` (kill-shard, hang-shard, "
+                        "slow-worker, corrupt-object, or `all`): real "
+                        "faults against shard workers / the serve "
+                        "store, recovered by supervision + the "
+                        "self-healing store")
     p.add_argument("--trace-out", default=None, metavar="PATH",
                    help="write the run's event timeline as Chrome "
                         "trace-event JSON (works with every artifact)")
@@ -291,18 +298,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         elif args.artifact == "fig5":
             print(run_fig5(pes=args.pes)["report"])
         elif args.artifact == "chaos":
-            from .bench.chaos import run_chaos
-            from .faults.plan import FaultConfigError, parse_profiles
+            from .bench.chaos import run_chaos, run_proc_chaos
+            from .faults.plan import (
+                FaultConfigError,
+                parse_proc_profiles,
+                parse_profiles,
+            )
+            from .sim.parallel import resolve_shards
 
+            # Fabric matrix runs by default, or when --faults is given
+            # explicitly; --proc alone runs only the process matrix.
             try:
-                profiles = parse_profiles(args.faults)
+                fabric_profiles = (
+                    parse_profiles(args.faults)
+                    if args.faults is not None
+                    else (None if args.proc is None else ())
+                )
+                proc_profiles = (
+                    parse_proc_profiles(args.proc)
+                    if args.proc is not None else ()
+                )
             except FaultConfigError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            out = run_chaos(profiles=profiles)
-            print(out["report"])
-            if not out["ok"]:
-                exit_code = 1
+            first = True
+            if fabric_profiles is None or fabric_profiles:
+                out = run_chaos(profiles=fabric_profiles)
+                print(out["report"])
+                if not out["ok"]:
+                    exit_code = 1
+                first = False
+            if proc_profiles:
+                if not first:
+                    print()
+                out = run_proc_chaos(
+                    profiles=proc_profiles,
+                    shards=resolve_shards() or 2,
+                )
+                print(out["report"])
+                if not out["ok"]:
+                    exit_code = 1
         elif args.artifact == "ablations":
             for runner in (run_polling_ablation, run_protocol_ablation,
                            run_mpi_sync_ablation, run_vr_ablation,

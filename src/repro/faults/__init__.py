@@ -15,15 +15,28 @@ Install both by constructing the runtime with a plan::
 
 ``repro chaos`` runs the paper's applications under every built-in
 profile and asserts their results remain bit-identical.
+
+Beyond the simulated fabric, the **proc scope** injects *real* faults
+against the execution infrastructure: :class:`ProcFaultPlan` rules
+SIGKILL, wedge, or slow a shard worker process at an epoch barrier
+(realized in-worker by :class:`ProcFaultInjector`), and the
+``corrupt-object`` profile bit-flips a stored serve result.  Driven by
+``repro chaos --proc``; recovery is the job of
+:mod:`repro.resilience` (shard supervision) and the self-healing
+:class:`~repro.serve.store.ResultStore`.
 """
 
-from .injector import FaultInjector
+from .injector import FaultInjector, ProcFaultInjector
 from .plan import (
+    PROC_PROFILES,
     PROFILES,
     FaultConfigError,
     FaultPlan,
     FaultRule,
+    ProcFaultPlan,
+    ProcFaultRule,
     ReliabilityParams,
+    parse_proc_profiles,
     parse_profiles,
 )
 
@@ -32,7 +45,12 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultRule",
+    "PROC_PROFILES",
     "PROFILES",
+    "ProcFaultInjector",
+    "ProcFaultPlan",
+    "ProcFaultRule",
     "ReliabilityParams",
+    "parse_proc_profiles",
     "parse_profiles",
 ]

@@ -240,3 +240,37 @@ class FaultInjector:
 
 def _dropped() -> None:
     """Delivery callback of a dropped transfer (bytes sent, never seen)."""
+
+
+class ProcFaultInjector:
+    """Realizes a :class:`~repro.faults.plan.ProcFaultPlan` inside one
+    shard worker process.
+
+    Built post-fork by the worker from ``rt.proc_faults``; rules fire
+    at epoch/GVT barriers (``at_barrier`` is called once per round,
+    just before the worker reports its barrier state, so the
+    coordinator observes the failure exactly where a real mid-epoch
+    death would surface: on the next pipe read).  One-shot rules apply
+    only to incarnation 0, so a supervised replacement does not re-die
+    during its deterministic replay; ``every_incarnation`` rules
+    re-fire and walk the run down the degradation ladder.
+    """
+
+    def __init__(self, plan, shard_id: int, incarnation: int) -> None:
+        self.rules = plan.for_shard(shard_id, incarnation)
+
+    def at_barrier(self, round_no: int) -> None:
+        import os
+        import signal
+        import time
+
+        for r in self.rules:
+            if r.kind == "slow":
+                time.sleep(r.slow_s)
+            elif round_no == r.at_round:
+                if r.kind == "kill":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                else:  # hang: wedge, ignoring the supervisor's SIGTERM
+                    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                    while True:  # pragma: no cover - killed externally
+                        time.sleep(3600)

@@ -180,6 +180,110 @@ def parse_profiles(spec: str) -> Tuple[str, ...]:
     return names
 
 
+# ---------------------------------------------------------------------------
+# Process-scope faults (``repro chaos --proc``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ProcFaultRule:
+    """One real fault against a shard worker *process*.
+
+    Unlike :class:`FaultRule` these are not simulated-fabric faults: a
+    ``kill`` rule SIGKILLs the worker at an epoch/GVT barrier, ``hang``
+    wedges it in a SIGTERM-ignoring sleep loop (exercising the
+    supervisor's deadline + kill escalation), and ``slow`` adds a
+    per-barrier wall-clock delay (a straggler that must *not* trip the
+    hang detector).  ``at_round`` is 1-based and counts the barriers
+    the target worker reaches.  One-shot rules (the default) fire only
+    in the worker's first incarnation, so a supervised restart
+    recovers; ``every_incarnation`` re-fires in replacements too and
+    exhausts the restart budget — the serial-degradation path.
+    """
+
+    kind: str                        # "kill" | "hang" | "slow"
+    shard: int = 1                   # target shard id
+    at_round: int = 3                # barrier at which kill/hang fires
+    every_incarnation: bool = False  # refire after supervised restarts
+    slow_s: float = 0.0              # per-barrier delay for "slow"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("kill", "hang", "slow"):
+            raise FaultConfigError(
+                f"proc fault kind must be kill, hang, or slow, "
+                f"got {self.kind!r}"
+            )
+        if self.shard < 0:
+            raise FaultConfigError(f"shard must be >= 0, got {self.shard}")
+        if self.at_round < 1:
+            raise FaultConfigError(
+                f"at_round must be >= 1, got {self.at_round}"
+            )
+        if self.slow_s < 0:
+            raise FaultConfigError(f"slow_s must be >= 0, got {self.slow_s}")
+
+
+@dataclass(frozen=True)
+class ProcFaultPlan:
+    """A named set of process-scope fault rules (picklable, frozen)."""
+
+    profile: str
+    rules: Tuple[ProcFaultRule, ...] = ()
+
+    @classmethod
+    def named(cls, profile: str) -> "ProcFaultPlan":
+        """Build one of the built-in proc profiles by name."""
+        try:
+            rules = PROC_PROFILES[profile]
+        except KeyError:
+            raise FaultConfigError(
+                f"unknown proc fault profile {profile!r}; "
+                f"known: {sorted(PROC_PROFILES)}"
+            ) from None
+        return cls(profile=profile, rules=rules)
+
+    def for_shard(self, shard: int, incarnation: int) -> Tuple[ProcFaultRule, ...]:
+        """The rules that apply to one worker incarnation."""
+        return tuple(
+            r for r in self.rules
+            if r.shard == shard and (incarnation == 0 or r.every_incarnation)
+        )
+
+
+#: Built-in process-scope chaos profiles (``--proc`` CLI names).  The
+#: ``corrupt-object`` profile has no worker rules — it targets the
+#: serve :class:`~repro.serve.store.ResultStore` instead (the chaos
+#: harness bit-flips a stored object and asserts quarantine +
+#: recompute); it lives here so one flag namespace covers every
+#: process-scope fault.
+PROC_PROFILES: Dict[str, Tuple[ProcFaultRule, ...]] = {
+    "kill-shard": (ProcFaultRule("kill", shard=1, at_round=3),),
+    "hang-shard": (ProcFaultRule("hang", shard=1, at_round=3),),
+    "slow-worker": (ProcFaultRule("slow", shard=1, slow_s=0.002),),
+    "corrupt-object": (),
+}
+
+
+def parse_proc_profiles(spec: str) -> Tuple[str, ...]:
+    """Parse a ``--proc`` value: comma-separated proc profile names.
+
+    ``"all"`` expands to every built-in proc profile (deterministic
+    order).
+    """
+    if spec.strip() == "all":
+        return tuple(sorted(PROC_PROFILES))
+    names = tuple(s.strip() for s in spec.split(",") if s.strip())
+    if not names:
+        raise FaultConfigError(f"no proc fault profiles in {spec!r}")
+    for name in names:
+        if name not in PROC_PROFILES:
+            raise FaultConfigError(
+                f"unknown proc fault profile {name!r}; "
+                f"known: {sorted(PROC_PROFILES)}"
+            )
+    return names
+
+
 @dataclass(frozen=True)
 class ReliabilityParams:
     """Knobs of the put-reliability layer (all simulated seconds).

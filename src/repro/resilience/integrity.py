@@ -1,0 +1,58 @@
+"""Content-integrity helpers for the self-healing result store.
+
+A stored object ``objects/<d[:2]>/<digest>`` gains a *sidecar*
+``<digest>.sum`` holding the sha256 of the payload **bytes** (not the
+spec digest that names the object — the name binds *which result this
+is*, the sidecar binds *that these bytes are that result*).  The
+sidecar is written atomically and **before** the object is moved into
+place, so an object that exists always has its checksum on disk; a
+crash between the two writes leaves only a harmless orphan sidecar.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: Suffix of the per-object checksum sidecar file.
+SIDECAR_SUFFIX = ".sum"
+
+
+def checksum(payload: bytes) -> str:
+    """Hex sha256 of the payload bytes."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def sidecar_path(obj_path: Path) -> Path:
+    """The checksum sidecar next to a stored object."""
+    return obj_path.with_name(obj_path.name + SIDECAR_SUFFIX)
+
+
+def write_sidecar(obj_path: Path, digest: str) -> None:
+    """Atomically record ``digest`` as ``obj_path``'s content checksum."""
+    side = sidecar_path(obj_path)
+    fd, tmp = tempfile.mkstemp(
+        prefix=".sum-", dir=str(side.parent)
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(digest)
+        os.replace(tmp, side)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover
+            pass
+        raise
+
+
+def read_sidecar(obj_path: Path) -> Optional[str]:
+    """The recorded checksum, or None when absent/unreadable (a
+    pre-sidecar legacy object, or a machine with a torn sidecar)."""
+    try:
+        return sidecar_path(obj_path).read_text().strip() or None
+    except OSError:
+        return None

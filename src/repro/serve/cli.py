@@ -106,6 +106,10 @@ def _submit_parser() -> argparse.ArgumentParser:
                         "summary only)")
     p.add_argument("--timeout", type=float, default=300.0, metavar="S",
                    help="max seconds to wait for the result (default 300)")
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="extra submit attempts through 429 backpressure, "
+                        "honoring Retry-After with jittered exponential "
+                        "backoff (default 3; 0 = fail fast)")
     return p
 
 
@@ -157,12 +161,17 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
 
     from .client import Backpressure, ServeClient, ServeClientError
 
-    client = ServeClient(args.host, args.port, timeout=args.timeout)
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}",
+              file=sys.stderr)
+        return 2
+    client = ServeClient(args.host, args.port, timeout=args.timeout,
+                         retries=args.retries)
     try:
         job = client.submit(specs)
     except Backpressure as exc:
-        print(f"rejected: queue full, retry after {exc.retry_after:g}s",
-              file=sys.stderr)
+        print(f"rejected: queue full after {args.retries + 1} attempts, "
+              f"retry after {exc.retry_after:g}s", file=sys.stderr)
         return 3
     except ServeClientError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence
 from ..sweep.runner import SweepRunner
 from ..sweep.spec import RunSpec
 from .digest import job_digest, result_payload
+from .store import StoreError
 from .metrics import ServeMetrics
 from .store import ResultStore
 
@@ -243,6 +244,16 @@ class JobManager:
             self._running += 1
             try:
                 await self._execute(job)
+            except Exception as exc:
+                # A bug anywhere in the execute path (store I/O, payload
+                # encoding, ...) must fail *the job*, never unwind the
+                # worker — a dead worker silently shrinks the pool until
+                # the server stops serving.
+                job.state = JobState.FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.finished = time.monotonic()
+                self.metrics.failed += 1
+                await job._bump()
             finally:
                 self._running -= 1
                 self._inflight.pop(job.digest, None)
@@ -289,7 +300,11 @@ class JobManager:
                 )
             else:
                 payload = result_payload(results)
-                self.store.put(job.digest, payload)
+                try:
+                    self.store.put(job.digest, payload)
+                except (StoreError, OSError):
+                    pass  # disk trouble: serve the computed payload
+                    # uncached rather than failing the job
                 job.payload = payload
                 job.state = JobState.DONE
 

@@ -101,6 +101,9 @@ class ServeMetrics:
                 "total_bytes": store.total_bytes,
                 "max_bytes": store.max_bytes,
                 "evictions": store.evictions,
+                "corruptions": getattr(store, "corruptions", 0),
+                "quarantined": getattr(store, "quarantined", 0),
+                "healed": getattr(store, "healed", 0),
             }
         if queue is not None:
             out["queue"] = queue.gauges()

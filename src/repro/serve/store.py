@@ -2,7 +2,9 @@
 
 Layout under the store root::
 
-    objects/<digest[:2]>/<digest>     # one file per cached payload
+    objects/<digest[:2]>/<digest>         # one file per cached payload
+    objects/<digest[:2]>/<digest>.sum     # sha256 of the payload bytes
+    objects/.quarantine/                  # corrupt objects, preserved
 
 Writes are atomic (tmp file + ``os.replace`` in the same directory),
 so a crashed server never leaves a truncated object — readers either
@@ -14,6 +16,16 @@ The cap is enforced on insert: after a put, least-recently-used
 objects are dropped until total bytes fit (the entry just written is
 never evicted, even if it alone exceeds the cap — one oversized
 result beats a store that can never hold it).
+
+**Self-healing** (see :mod:`repro.resilience.integrity`): every object
+carries a checksum sidecar, written *before* the object lands so an
+object on disk always has its checksum.  Every read verifies the bytes
+against the sidecar; a mismatch (bit rot, truncation by an external
+actor) quarantines the object under ``objects/.quarantine/`` —
+preserved for forensics, never served — counts the corruption, and
+returns a miss so the caller transparently recomputes.  Objects from
+pre-sidecar stores are adopted trust-on-first-use: their first clean
+read writes the missing sidecar.
 """
 
 from __future__ import annotations
@@ -25,7 +37,17 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..resilience.integrity import (
+    checksum,
+    read_sidecar,
+    sidecar_path,
+    write_sidecar,
+)
+
 _HEX = set("0123456789abcdef")
+
+#: Quarantine directory name (inside ``objects/``; skipped by _scan).
+QUARANTINE_DIR = ".quarantine"
 
 
 class StoreError(RuntimeError):
@@ -39,16 +61,29 @@ def _check_digest(digest: str) -> str:
 
 
 class ResultStore:
-    """Content-addressed payload store: ``digest -> bytes`` on disk."""
+    """Content-addressed payload store: ``digest -> bytes`` on disk.
 
-    def __init__(self, root: os.PathLike, max_bytes: Optional[int] = None) -> None:
+    ``verify=False`` turns off read-path checksum verification (the
+    sidecars are still written): a benchmarking escape hatch, not a
+    production mode.
+    """
+
+    def __init__(self, root: os.PathLike, max_bytes: Optional[int] = None,
+                 verify: bool = True) -> None:
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.objects.mkdir(parents=True, exist_ok=True)
         if max_bytes is not None and max_bytes <= 0:
             raise StoreError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
+        self.verify = verify
         self.evictions = 0
+        #: reads whose bytes contradicted their sidecar.
+        self.corruptions = 0
+        #: objects moved to the quarantine since open.
+        self.quarantined = 0
+        #: puts that replaced a previously quarantined digest.
+        self.healed = 0
         self._lock = threading.Lock()
         #: digest -> size, in LRU order (first = coldest).
         self._index: "OrderedDict[str, int]" = OrderedDict()
@@ -59,11 +94,19 @@ class ResultStore:
     def _path(self, digest: str) -> Path:
         return self.objects / digest[:2] / digest
 
+    def _quarantine_dir(self) -> Path:
+        q = self.objects / QUARANTINE_DIR
+        q.mkdir(parents=True, exist_ok=True)
+        return q
+
     def _scan(self) -> None:
         """Rebuild the index from disk, ordered by mtime (oldest first)."""
         found = []
         for shard in self.objects.iterdir() if self.objects.exists() else []:
-            if not shard.is_dir():
+            # Only the 2-hex-char fan-out dirs hold live objects; the
+            # quarantine (and any other stray dir) is not the index's
+            # business.
+            if not shard.is_dir() or len(shard.name) != 2:
                 continue
             for obj in shard.iterdir():
                 name = obj.name
@@ -96,7 +139,27 @@ class ResultStore:
                 self._path(coldest).unlink()
             except OSError:
                 pass
+            try:
+                sidecar_path(self._path(coldest)).unlink()
+            except OSError:
+                pass
             self.evictions += 1
+
+    def _quarantine(self, digest: str) -> None:
+        """Move a corrupt object (and its sidecar) out of service."""
+        self._index.pop(digest, None)
+        q = self._quarantine_dir()
+        path = self._path(digest)
+        for src, dst in (
+            (path, q / digest),
+            (sidecar_path(path), q / sidecar_path(path).name),
+        ):
+            try:
+                os.replace(src, dst)
+            except OSError:
+                pass  # the object may have vanished mid-move; the
+                # index drop above already makes it unservable
+        self.quarantined += 1
 
     # -- public API -----------------------------------------------------
 
@@ -112,17 +175,36 @@ class ResultStore:
             return _check_digest(digest) in self._index
 
     def get(self, digest: str) -> Optional[bytes]:
-        """The payload for ``digest``, or None; a hit refreshes recency."""
+        """The payload for ``digest``, or None; a hit refreshes recency.
+
+        Verifies the bytes against the checksum sidecar: corruption is
+        quarantined, counted, and reported as a miss (the caller
+        recomputes and re-puts — the healing loop).
+        """
         _check_digest(digest)
         with self._lock:
             if digest not in self._index:
                 return None
+            path = self._path(digest)
             try:
-                data = self._path(digest).read_bytes()
+                data = path.read_bytes()
             except OSError:
                 # File vanished under us (external cleanup): drop the entry.
                 self._index.pop(digest, None)
                 return None
+            if self.verify:
+                actual = checksum(data)
+                recorded = read_sidecar(path)
+                if recorded is None:
+                    # Pre-sidecar legacy object: adopt trust-on-first-use.
+                    try:
+                        write_sidecar(path, actual)
+                    except OSError:  # pragma: no cover - disk trouble
+                        pass
+                elif recorded != actual:
+                    self.corruptions += 1
+                    self._quarantine(digest)
+                    return None
             self._touch(digest)
             return data
 
@@ -130,7 +212,10 @@ class ResultStore:
         """Store ``payload`` under ``digest`` atomically; evict LRU to fit.
 
         Re-putting an existing digest is a no-op apart from a recency
-        refresh — content-addressed entries never change.
+        refresh — content-addressed entries never change.  The checksum
+        sidecar lands *before* the object (an object on disk therefore
+        always has its checksum; a crash in between leaves only an
+        orphan sidecar the next put overwrites).
         """
         _check_digest(digest)
         if not isinstance(payload, (bytes, bytearray)):
@@ -141,6 +226,7 @@ class ResultStore:
                 return
             path = self._path(digest)
             path.parent.mkdir(parents=True, exist_ok=True)
+            write_sidecar(path, checksum(bytes(payload)))
             fd, tmp = tempfile.mkstemp(prefix=".tmp-", dir=path.parent)
             try:
                 with os.fdopen(fd, "wb") as fh:
@@ -152,6 +238,8 @@ class ResultStore:
                 except OSError:
                     pass
                 raise
+            if (self.objects / QUARANTINE_DIR / digest).exists():
+                self.healed += 1
             self._index[digest] = len(payload)
             self._evict_to_fit(protect=digest)
 
@@ -167,6 +255,9 @@ class ResultStore:
                 "total_bytes": self.total_bytes,
                 "max_bytes": self.max_bytes,
                 "evictions": self.evictions,
+                "corruptions": self.corruptions,
+                "quarantined": self.quarantined,
+                "healed": self.healed,
                 "entries": entries,
             }
 

@@ -263,7 +263,10 @@ def _owned_ranks(rt: "Runtime", block: range) -> range:
     return range(block.start * cpn, min(block.stop * cpn, rt.n_pes))
 
 
-def _enter_shard(rt: "Runtime", shard_id: int, block: range) -> dict:
+def _enter_shard(
+    rt: "Runtime", shard_id: int, block: range,
+    clear_stats: Optional[bool] = None,
+) -> dict:
     """Specialize this process to one shard; returns the baselines the
     final reconciliation payload is measured against."""
     rt.shard_id = shard_id
@@ -275,15 +278,61 @@ def _enter_shard(rt: "Runtime", shard_id: int, block: range) -> dict:
         "cpu": time.process_time(),
         "log_len": len(rt.tracer.events) if rt.tracer is not None else 0,
     }
-    if shard_id != 0:
+    if clear_stats is None:
+        clear_stats = shard_id != 0
+    if clear_stats:
         # Children report their whole post-fork stats/samples; anything
         # inherited from before the fork belongs to the parent's copy.
+        # Under supervision *every* shard (including 0) is a child of a
+        # pristine coordinator, so every shard clears.
         rt.trace.stats.clear()
         rt.trace.samples.clear()
     return base
 
 
-def _final_payload(rt: "Runtime", block: range, base: dict) -> dict:
+_PLAIN_SCALARS = (bool, int, float, complex, str, bytes, type(None))
+
+
+def _is_plain_data(value: Any, depth: int = 0) -> bool:
+    """True for values that are pure data (safe to ship between
+    processes and overwrite on the receiving twin): scalars, numpy
+    arrays, and containers thereof — not runtime wiring like proxies,
+    chare arrays, or the Runtime itself."""
+    import numpy as np
+
+    if depth > 8:
+        return False
+    if isinstance(value, _PLAIN_SCALARS) or isinstance(value, np.generic):
+        return True
+    if isinstance(value, np.ndarray):
+        return True
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return all(_is_plain_data(v, depth + 1) for v in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(k, _PLAIN_SCALARS) and _is_plain_data(v, depth + 1)
+            for k, v in value.items()
+        )
+    return False
+
+
+def _host_payload(rt: "Runtime") -> list:
+    """Plain-data attributes of the registered host-state objects.
+
+    Under supervision shard 0 runs in a child, so host callbacks
+    (iteration monitors and the like) mutate the *child's* copies; the
+    data attributes ship home in the final payload while
+    object-reference attributes (runtime wiring such as ``rt`` or the
+    array proxy) keep the parent's originals."""
+    return [
+        {k: v for k, v in obj.__dict__.items() if _is_plain_data(v)}
+        for obj in rt._tw_host_state
+    ]
+
+
+def _final_payload(
+    rt: "Runtime", block: range, base: dict, include_host: bool = False,
+) -> dict:
     """What a worker shard ships home after its last window."""
     counters = {
         name: val - base["counters"].get(name, 0)
@@ -309,7 +358,7 @@ def _final_payload(rt: "Runtime", block: range, base: dict) -> dict:
              e.cause, e.args)
             for e in rt.tracer.events[base["log_len"]:]
         ]
-    return {
+    payload = {
         "now": rt.sim.now,
         "events_processed": rt.sim.events_processed - base["events"],
         "counters": counters,
@@ -320,6 +369,9 @@ def _final_payload(rt: "Runtime", block: range, base: dict) -> dict:
         "trace_events": events,
         "cpu": time.process_time() - base["cpu"],
     }
+    if include_host:
+        payload["host"] = _host_payload(rt)
+    return payload
 
 
 def _merge_final(rt: "Runtime", payload: dict) -> None:
@@ -337,6 +389,8 @@ def _merge_final(rt: "Runtime", payload: dict) -> None:
         rt.pes[rank].busy_time = busy_time
     for (aid, idx), state in payload["states"].items():
         rt.arrays[aid].elements[idx].shard_load(state)
+    for obj, attrs in zip(rt._tw_host_state, payload.get("host", ())):
+        obj.__dict__.update(attrs)
     log = rt.tracer
     if log is not None and payload["trace_events"]:
         from ..projections.events import TraceEvent
@@ -359,12 +413,61 @@ def _merge_final(rt: "Runtime", payload: dict) -> None:
 # ---------------------------------------------------------------------------
 
 
-def _shard_worker(rt: "Runtime", shard_id: int, block: range, conn) -> None:
+def _make_shard_of_rank(topo, blocks: List[range]):
+    """PE rank -> shard id, from the node blocks' PE-rank uppers."""
+    bounds = [b.stop * topo.cores_per_node for b in blocks]
+
+    def shard_of_rank(rank: int) -> int:
+        for s, hi in enumerate(bounds):
+            if rank < hi:
+                return s
+        raise ParallelEngineError(f"PE {rank} outside every shard")
+
+    return shard_of_rank
+
+
+def _route_window(
+    nexts: List[float], outboxes: List[List[tuple]], n: int, shard_of_rank,
+) -> Tuple[float, List[List[tuple]]]:
+    """The conservative coordinator's deterministic round computation:
+    the global floor ``M`` and the per-shard inboxes for one barrier's
+    states.  Shared by the legacy (in-process shard 0) and supervised
+    (all-children) coordinator loops so the two can never drift."""
+    inboxes: List[List[tuple]] = [[] for _ in range(n)]
+    floor = min(nexts)
+    for out in outboxes:
+        for rec in out:
+            if rec[0] < floor:
+                floor = rec[0]
+            inboxes[shard_of_rank(rec[1])].append(rec)
+    return floor, inboxes
+
+
+def _proc_injector(rt: "Runtime", shard_id: int, incarnation: int):
+    """The worker's ProcFaultInjector, or None without a proc plan."""
+    plan = getattr(rt, "proc_faults", None)
+    if plan is None or not plan.rules:
+        return None
+    from ..faults.injector import ProcFaultInjector
+
+    return ProcFaultInjector(plan, shard_id, incarnation)
+
+
+def _shard_worker(
+    rt: "Runtime", shard_id: int, block: range, conn,
+    incarnation: int = 0, supervised: bool = False,
+) -> None:
     """Worker-shard entry point (runs in a forked child)."""
     try:
-        base = _enter_shard(rt, shard_id, block)
+        base = _enter_shard(rt, shard_id, block,
+                            clear_stats=supervised or shard_id != 0)
+        pf = _proc_injector(rt, shard_id, incarnation)
         sim, fab = rt.sim, rt.fabric
+        round_no = 0
         while True:
+            round_no += 1
+            if pf is not None:
+                pf.at_barrier(round_no)
             outbox = [encode_record(r) for r in fab.take_outbox()]
             conn.send(("state", sim.next_event_time(), outbox))
             msg = conn.recv()
@@ -374,7 +477,8 @@ def _shard_worker(rt: "Runtime", shard_id: int, block: range, conn) -> None:
             for rec in inbox:
                 fab.admit_remote(rec)
             sim.run_before(bound)
-        conn.send(("final", _final_payload(rt, block, base)))
+        conn.send(("final", _final_payload(
+            rt, block, base, include_host=supervised and shard_id == 0)))
         conn.close()
     except BaseException:
         try:
@@ -400,8 +504,25 @@ def _recv(conn, shard_id: int):
     return msg
 
 
-def run_sharded(rt: "Runtime") -> float:
-    """Run ``rt`` to completion under the sharded engine.
+def _run_serial_inline(rt: "Runtime") -> float:
+    """One in-process shard: identical engine semantics, no fork.
+
+    Also the supervised runs' degradation target — the coordinator's
+    runtime is untouched (host sends still buffered, no events run),
+    so falling back here reproduces the serial run exactly.
+    """
+    rt._flush_host_sends()
+    c0 = time.process_time()
+    rt.sim.run()
+    # One-entry critical path, measured exactly like the forked
+    # shards measure theirs (run phase only) — the speedup
+    # benchmark compares max(shard_cpu_times) across shard counts.
+    rt.shard_cpu_times = [time.process_time() - c0]
+    return rt.sim.now
+
+
+def _fork_plan(rt: "Runtime") -> Tuple[int, Optional[Any]]:
+    """(effective shard count, fork context) for a sharded run.
 
     Falls back to a single in-process shard (identical semantics, no
     fork) when the topology has fewer nodes than shards were requested,
@@ -411,10 +532,8 @@ def run_sharded(rt: "Runtime") -> float:
     daemonic worker (e.g. a sweep-pool process, which may not fork
     children of its own).
     """
-    sim, fab = rt.sim, rt.fabric
-    topo = fab.topology
-    n = min(rt.shards or 1, topo.n_nodes)
-    if n > 1 and sim.pending_active:
+    n = min(rt.shards or 1, rt.fabric.topology.n_nodes)
+    if n > 1 and rt.sim.pending_active:
         n = 1
     ctx = None
     if n > 1:
@@ -427,15 +546,50 @@ def run_sharded(rt: "Runtime") -> float:
                 ctx = mp.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platform
                 n = 1
+    return n, ctx
+
+
+def _reap_shard(conn, proc, graceful_timeout: float = 30.0) -> Optional[int]:
+    """Tear one shard down without leaking a zombie or its pipe fds.
+
+    Ladder: close our pipe end, join; if still alive ``terminate()``
+    and re-join *bounded*; a worker wedged with SIGTERM ignored gets
+    ``kill()`` (SIGKILL, uncatchable) and a final reap.  Returns the
+    exit code (None only if the child survived SIGKILL, which the
+    kernel does not allow for an unblocked process).
+    """
+    if conn is not None:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+    proc.join(timeout=graceful_timeout)
+    if proc.is_alive():  # hung shard: escalate, bounded
+        proc.terminate()
+        proc.join(timeout=5.0)
+    if proc.is_alive():  # SIGTERM ignored/blocked: SIGKILL
+        proc.kill()
+        proc.join(timeout=10.0)
+    code = proc.exitcode
+    if code is not None:
+        proc.close()  # release the Process object's fds now, not at gc
+    return code
+
+
+def run_sharded(rt: "Runtime") -> float:
+    """Run ``rt`` to completion under the sharded engine.
+
+    Serial fallbacks are listed on :func:`_fork_plan`.  With
+    supervision on (the default; ``REPRO_SUPERVISE=0`` disables) the
+    run goes through :func:`repro.resilience.supervisor.
+    supervise_conservative`, which forks *all* shards and restarts
+    crashed or hung workers deterministically.
+    """
+    sim, fab = rt.sim, rt.fabric
+    topo = fab.topology
+    n, ctx = _fork_plan(rt)
     if n == 1:
-        rt._flush_host_sends()
-        c0 = time.process_time()
-        sim.run()
-        # One-entry critical path, measured exactly like the forked
-        # shards measure theirs (run phase only) — the speedup
-        # benchmark compares max(shard_cpu_times) across shard counts.
-        rt.shard_cpu_times = [time.process_time() - c0]
-        return sim.now
+        return _run_serial_inline(rt)
 
     blocks = shard_nodes(topo, n)
     delta = fab.min_remote_latency()
@@ -443,6 +597,12 @@ def run_sharded(rt: "Runtime") -> float:
         raise ParallelEngineError(
             f"fabric lookahead must be positive, got {delta!r}"
         )
+
+    from ..resilience.supervisor import resolve_supervise, supervise_conservative
+
+    if resolve_supervise():
+        return supervise_conservative(rt, ctx, blocks, delta)
+
     pipes = [ctx.Pipe(duplex=True) for _ in range(n - 1)]
     procs = []
     for s in range(1, n):
@@ -458,14 +618,7 @@ def run_sharded(rt: "Runtime") -> float:
 
     try:
         base = _enter_shard(rt, 0, blocks[0])
-        node_cpn = topo.cores_per_node
-        bounds = [b.stop * node_cpn for b in blocks]  # PE-rank uppers
-
-        def shard_of_rank(rank: int) -> int:
-            for s, hi in enumerate(bounds):
-                if rank < hi:
-                    return s
-            raise ParallelEngineError(f"PE {rank} outside every shard")
+        shard_of_rank = _make_shard_of_rank(topo, blocks)
 
         rounds = 0
         while True:
@@ -476,12 +629,7 @@ def run_sharded(rt: "Runtime") -> float:
                 msg = _recv(conn, s)
                 nexts.append(msg[1])
                 outboxes.append(msg[2])
-            inboxes: List[List[tuple]] = [[] for _ in range(n)]
-            floor = min(nexts)
-            for out in outboxes:
-                for rec in out:
-                    floor = min(floor, rec[0])
-                    inboxes[shard_of_rank(rec[1])].append(rec)
+            floor, inboxes = _route_window(nexts, outboxes, n, shard_of_rank)
             if floor == float("inf"):
                 for conn in conns:
                     conn.send(("done",))
@@ -505,14 +653,6 @@ def run_sharded(rt: "Runtime") -> float:
         rt.shard_cpu_times = cpu
         rt.parallel_rounds = rounds
     finally:
-        for conn in conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        for p in procs:
-            p.join(timeout=30.0)
-            if p.is_alive():  # pragma: no cover - hung shard
-                p.terminate()
-                p.join()
+        for conn, p in zip(conns, procs):
+            _reap_shard(conn, p)
     return sim.now

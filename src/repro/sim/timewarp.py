@@ -79,8 +79,13 @@ from .parallel import (
     ParallelEngineError,
     _enter_shard,
     _final_payload,
+    _fork_plan,
+    _make_shard_of_rank,
     _merge_final,
+    _proc_injector,
+    _reap_shard,
     _recv,
+    _run_serial_inline,
     encode_record,
 )
 
@@ -585,13 +590,101 @@ class _TimeWarpShard:
 # ---------------------------------------------------------------------------
 
 
+class _GvtPlanner:
+    """One GVT round of coordinator arithmetic, shared by the legacy
+    (coordinator-runs-shard-0) loop and the supervised coordinator so
+    the two cannot drift.
+
+    Owns the adaptive-horizon state: H=1 is exactly the conservative
+    window — provably straggler-free — so collapse to it whenever a
+    routed arrival lands in a shard's past (or on *any* routed
+    traffic: records generated inside a round ship one barrier later,
+    so any H > 1 risks a destination overrunning an in-flight
+    arrival), and double it after every clean round.  Speculation is
+    therefore aggressive through decoupled compute phases and
+    conservative through latency-coupled (barrier/reduction) phases,
+    which is where fixed horizons roll back persistently.
+    """
+
+    def __init__(self, n: int, shard_of_rank, delta: float,
+                 horizon: Optional[float]) -> None:
+        self.n = n
+        self.shard_of_rank = shard_of_rank
+        self.delta = delta
+        self.horizon = horizon
+        self.H = 1.0 if horizon is None else horizon
+        self.h_cap = 2.0 ** 20
+        self.rounds = 0
+
+    def plan(self, states: List[tuple]) -> Tuple[
+        float, float, bool, List[List[tuple]], List[List[tuple]]
+    ]:
+        """(gvt, bound, flush, inboxes, anti_boxes) for one round.
+
+        ``gvt == inf`` means the run is globally drained — the caller
+        broadcasts ``("done",)`` and collects finals; the other return
+        values are then meaningless.
+        """
+        n = self.n
+        self.rounds += 1
+        nexts = [st[1] for st in states]
+        nows = [st[5] for st in states]
+        gvt = min(nexts + [st[4] for st in states])
+        rec_floor = min(nexts)
+        straggler = False
+        inboxes: List[List[tuple]] = [[] for _ in range(n)]
+        anti_boxes: List[List[tuple]] = [[] for _ in range(n)]
+        for st in states:
+            for tok, rec in st[2]:
+                if rec[0] < gvt:
+                    gvt = rec[0]
+                if rec[0] < rec_floor:
+                    rec_floor = rec[0]
+                d = self.shard_of_rank(rec[1])
+                if rec[0] <= nows[d]:
+                    straggler = True
+                inboxes[d].append((tok, rec))
+            for dst_rank, tok, ha in st[3]:
+                if ha < gvt:
+                    gvt = ha
+                d = self.shard_of_rank(dst_rank)
+                if ha <= nows[d]:
+                    straggler = True
+                anti_boxes[d].append((tok, ha))
+        if gvt == _INF:
+            return gvt, _INF, False, inboxes, anti_boxes
+        traffic = any(inboxes) or any(anti_boxes)
+        # Quiescent but GVT-pinned: open epochs hold anti-message
+        # candidates that can no longer regenerate (no shard has
+        # work, nothing is in flight) — force their flush.
+        flush = (not traffic) and all(nx == _INF for nx in nexts)
+        if self.horizon is None:
+            self.H = (
+                1.0 if (straggler or traffic)
+                else min(self.H * 2.0, self.h_cap)
+            )
+        bound = _INF
+        if self.H < _INF and rec_floor < _INF:
+            bound = rec_floor + self.H * self.delta
+        return gvt, bound, flush, inboxes, anti_boxes
+
+
 def _timewarp_worker(rt: "Runtime", shard_id: int, block: range, conn,
-                     cp_events: int) -> None:
+                     cp_events: int, incarnation: int = 0,
+                     supervised: bool = False) -> None:
     """Worker-shard entry point (runs in a forked child)."""
     try:
-        base = _enter_shard(rt, shard_id, block)
+        base = _enter_shard(
+            rt, shard_id, block,
+            clear_stats=supervised or shard_id != 0,
+        )
         tw = _TimeWarpShard(rt, shard_id, block, cp_events)
+        pf = _proc_injector(rt, shard_id, incarnation)
+        round_no = 0
         while True:
+            round_no += 1
+            if pf is not None:
+                pf.at_barrier(round_no)
             conn.send(tw.barrier_state())
             msg = conn.recv()
             if msg[0] == "done":
@@ -599,7 +692,10 @@ def _timewarp_worker(rt: "Runtime", shard_id: int, block: range, conn,
             _, bound, gvt, inbox, antis, flush = msg
             tw.do_round(bound, gvt, inbox, antis, flush)
             tw.run_segment()
-        payload = _final_payload(rt, block, base)
+        payload = _final_payload(
+            rt, block, base,
+            include_host=supervised and shard_id == 0,
+        )
         payload["events_processed"] -= len(tw.orphaned)
         payload["timewarp"] = tw.stats
         conn.send(("final", payload))
@@ -626,27 +722,11 @@ def run_timewarp(rt: "Runtime") -> float:
     """
     sim, fab = rt.sim, rt.fabric
     topo = fab.topology
-    n = min(rt.shards or 1, topo.n_nodes)
-    if n > 1 and sim.pending_active:
-        n = 1
-    ctx = None
-    if n > 1:
-        import multiprocessing as mp
-
-        if mp.current_process().daemon:
-            n = 1
-        else:
-            try:
-                ctx = mp.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platform
-                n = 1
+    n, ctx = _fork_plan(rt)
     if n == 1:
-        rt._flush_host_sends()
-        c0 = time.process_time()
-        sim.run()
-        rt.shard_cpu_times = [time.process_time() - c0]
+        now = _run_serial_inline(rt)
         rt.timewarp_stats = {k: 0 for k in STAT_KEYS}
-        return sim.now
+        return now
 
     delta = fab.min_remote_latency()
     if not delta > 0.0:
@@ -656,6 +736,12 @@ def run_timewarp(rt: "Runtime") -> float:
     horizon = _resolve_horizon()
     cp_events = _resolve_cp_events()
     blocks = shard_nodes(topo, n)
+
+    from ..resilience.supervisor import resolve_supervise, supervise_timewarp
+
+    if resolve_supervise():
+        return supervise_timewarp(rt, ctx, blocks, delta, horizon, cp_events)
+
     pipes = [ctx.Pipe(duplex=True) for _ in range(n - 1)]
     procs = []
     for s in range(1, n):
@@ -672,23 +758,9 @@ def run_timewarp(rt: "Runtime") -> float:
     try:
         base = _enter_shard(rt, 0, blocks[0])
         tw = _TimeWarpShard(rt, 0, blocks[0], cp_events)
-        node_cpn = topo.cores_per_node
-        bounds = [b.stop * node_cpn for b in blocks]  # PE-rank uppers
-        # Adaptive horizon state (horizon is None): H=1 is exactly the
-        # conservative window — provably straggler-free — so collapse
-        # to it whenever a routed arrival lands in a shard's past, and
-        # double it after every clean round.  Speculation is therefore
-        # aggressive through decoupled compute phases and conservative
-        # through latency-coupled (barrier/reduction) phases, which is
-        # where fixed horizons roll back persistently.
-        H = 1.0 if horizon is None else horizon
-        h_cap = 2.0 ** 20
-
-        def shard_of_rank(rank: int) -> int:
-            for s, hi in enumerate(bounds):
-                if rank < hi:
-                    return s
-            raise ParallelEngineError(f"PE {rank} outside every shard")
+        planner = _GvtPlanner(
+            n, _make_shard_of_rank(topo, blocks), delta, horizon
+        )
 
         while True:
             states = [tw.barrier_state()]
@@ -699,53 +771,12 @@ def run_timewarp(rt: "Runtime") -> float:
                         f"shard {s} sent {msg[0]!r} instead of its state"
                     )
                 states.append(msg)
-            nexts = [st[1] for st in states]
-            nows = [st[5] for st in states]
-            gvt = min(nexts + [st[4] for st in states])
-            rec_floor = min(nexts)
-            straggler = False
-            inboxes: List[List[tuple]] = [[] for _ in range(n)]
-            anti_boxes: List[List[tuple]] = [[] for _ in range(n)]
-            for st in states:
-                for tok, rec in st[2]:
-                    if rec[0] < gvt:
-                        gvt = rec[0]
-                    if rec[0] < rec_floor:
-                        rec_floor = rec[0]
-                    d = shard_of_rank(rec[1])
-                    if rec[0] <= nows[d]:
-                        straggler = True
-                    inboxes[d].append((tok, rec))
-                for dst_rank, tok, ha in st[3]:
-                    if ha < gvt:
-                        gvt = ha
-                    d = shard_of_rank(dst_rank)
-                    if ha <= nows[d]:
-                        straggler = True
-                    anti_boxes[d].append((tok, ha))
+            gvt, bound, flush, inboxes, anti_boxes = planner.plan(states)
             tw.stats["gvt_rounds"] += 1
             if gvt == _INF:
                 for conn in conns:
                     conn.send(("done",))
                 break
-            traffic = any(inboxes) or any(anti_boxes)
-            # Quiescent but GVT-pinned: open epochs hold anti-message
-            # candidates that can no longer regenerate (no shard has
-            # work, nothing is in flight) — force their flush.
-            flush = (not traffic) and all(nx == _INF for nx in nexts)
-            if horizon is None:
-                # Collapse preemptively on *any* routed traffic, not
-                # just on stragglers: records generated inside a round
-                # ship one barrier later, so any H > 1 risks a
-                # destination overrunning an in-flight arrival.  During
-                # exchange/reduction phases every round carries traffic
-                # and the engine runs conservatively (zero rollbacks);
-                # through quiet compute stretches H doubles and a
-                # handful of rounds cover thousands of windows.
-                H = 1.0 if (straggler or traffic) else min(H * 2.0, h_cap)
-            bound = _INF
-            if H < _INF and rec_floor < _INF:
-                bound = rec_floor + H * delta
             for s, conn in enumerate(conns, start=1):
                 conn.send(("window", bound, gvt, inboxes[s],
                            anti_boxes[s], flush))
@@ -769,14 +800,6 @@ def run_timewarp(rt: "Runtime") -> float:
         rt.timewarp_stats = stats
         rt.parallel_rounds = stats["gvt_rounds"]
     finally:
-        for conn in conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        for p in procs:
-            p.join(timeout=30.0)
-            if p.is_alive():  # pragma: no cover - hung shard
-                p.terminate()
-                p.join()
+        for conn, p in zip(conns, procs):
+            _reap_shard(conn, p)
     return sim.now

@@ -1,0 +1,65 @@
+"""Process-scope fault plans: validation, profiles, incarnation scoping."""
+
+import pytest
+
+from repro.faults import (
+    PROC_PROFILES,
+    FaultConfigError,
+    ProcFaultPlan,
+    ProcFaultRule,
+    parse_proc_profiles,
+)
+
+
+def test_rule_validation():
+    ProcFaultRule("kill")  # defaults are legal
+    with pytest.raises(FaultConfigError, match="kind"):
+        ProcFaultRule("crash")
+    with pytest.raises(FaultConfigError, match="shard"):
+        ProcFaultRule("kill", shard=-1)
+    with pytest.raises(FaultConfigError, match="at_round"):
+        ProcFaultRule("hang", at_round=0)
+    with pytest.raises(FaultConfigError, match="slow_s"):
+        ProcFaultRule("slow", slow_s=-0.1)
+
+
+def test_named_profiles():
+    for name in PROC_PROFILES:
+        plan = ProcFaultPlan.named(name)
+        assert plan.profile == name
+    assert ProcFaultPlan.named("corrupt-object").rules == ()
+    with pytest.raises(FaultConfigError, match="unknown proc fault profile"):
+        ProcFaultPlan.named("segfault")
+
+
+def test_for_shard_scopes_by_target_and_incarnation():
+    plan = ProcFaultPlan("mix", (
+        ProcFaultRule("kill", shard=1),
+        ProcFaultRule("hang", shard=2, every_incarnation=True),
+        ProcFaultRule("slow", shard=1, slow_s=0.001),
+    ))
+    # first incarnation sees every rule for its shard
+    assert len(plan.for_shard(1, 0)) == 2
+    assert len(plan.for_shard(2, 0)) == 1
+    assert plan.for_shard(3, 0) == ()
+    # replacements only see every_incarnation rules (one-shot faults
+    # must not re-fire after a supervised restart)
+    assert plan.for_shard(1, 1) == ()
+    assert len(plan.for_shard(2, 1)) == 1
+
+
+def test_parse_proc_profiles():
+    assert parse_proc_profiles("all") == tuple(sorted(PROC_PROFILES))
+    assert parse_proc_profiles("kill-shard, corrupt-object") == (
+        "kill-shard", "corrupt-object")
+    with pytest.raises(FaultConfigError, match="no proc fault profiles"):
+        parse_proc_profiles(" , ")
+    with pytest.raises(FaultConfigError, match="unknown proc fault profile"):
+        parse_proc_profiles("kill-shard,oom")
+
+
+def test_plans_are_picklable():
+    import pickle
+
+    plan = ProcFaultPlan.named("kill-shard")
+    assert pickle.loads(pickle.dumps(plan)) == plan

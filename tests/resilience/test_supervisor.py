@@ -1,0 +1,219 @@
+"""Shard supervision: crash/hang recovery, degradation, knobs.
+
+The contract: with supervision on (the default), a shard worker that
+is SIGKILL'd or wedged mid-run is detected, restarted, and replayed
+deterministically — the run's output stays **bit-identical** to a
+clean serial run — and once the restart budget is spent the run
+degrades to the serial engine, still bit-identical.
+
+SURVEYOR at 16 PEs = 4 nodes (4 cores/node), so ``shards=4`` forks
+four real worker processes.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.faults import ProcFaultPlan, ProcFaultRule
+from repro.network.params import SURVEYOR
+from repro.sim.parallel import ParallelEngineError
+from repro.resilience.supervisor import (
+    resolve_max_restarts,
+    resolve_shard_deadline,
+    resolve_supervise,
+)
+
+CFG = dict(domain=(16, 16, 16), vr=2, iterations=3,
+           validate=True, keep_runtime=True)
+
+
+def _run(shards, **kw):
+    from repro.apps.stencil.driver import run_stencil
+
+    return run_stencil(SURVEYOR, 16, shards=shards, **CFG, **kw)
+
+
+def _digest(result):
+    from repro.apps.stencil.driver import gather_grid
+
+    return hashlib.sha256(gather_grid(result).tobytes()).hexdigest()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Serial reference digest + event count."""
+    r = _run(shards=1)
+    return _digest(r), r.events
+
+
+# ---------------------------------------------------------------------------
+# Clean path
+# ---------------------------------------------------------------------------
+
+
+def test_supervised_clean_run_is_bit_identical(baseline):
+    digest, events = baseline
+    r = _run(shards=4)
+    sup = r.runtime.supervision
+    assert sup is not None and sup["supervised"]
+    assert sup["restarts"] == 0 and not sup["degraded"]
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+def test_supervise_off_uses_legacy_topology(baseline, monkeypatch):
+    monkeypatch.setenv("REPRO_SUPERVISE", "0")
+    digest, events = baseline
+    r = _run(shards=4)
+    assert r.runtime.supervision is None
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery (SIGKILL mid-epoch)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["conservative", "optimistic"])
+def test_sigkill_shard_recovers_bit_identical(baseline, engine):
+    digest, events = baseline
+    r = _run(shards=4, engine=engine,
+             proc_faults=ProcFaultPlan.named("kill-shard"))
+    sup = r.runtime.supervision
+    assert sup["restarts"] == 1 and sup["crashes"] == 1
+    assert not sup["degraded"]
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+def test_kill_during_final_collection_recovers(baseline):
+    """A worker killed at its *last* barrier (after `done` is logged)
+    is replayed through the whole window stream, final included."""
+    digest, events = baseline
+    # Round count is deterministic (193 for this config at 4 shards);
+    # firing at a barrier near the end exercises the done/final replay.
+    plan = ProcFaultPlan("kill-late",
+                         (ProcFaultRule("kill", shard=2, at_round=193),))
+    r = _run(shards=4, proc_faults=plan)
+    sup = r.runtime.supervision
+    assert sup["restarts"] == 1, "kill round never reached"
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+def test_two_kills_within_budget(baseline):
+    digest, events = baseline
+    plan = ProcFaultPlan("kill-two", (
+        ProcFaultRule("kill", shard=1, at_round=3),
+        ProcFaultRule("kill", shard=3, at_round=5),
+    ))
+    r = _run(shards=4, proc_faults=plan)
+    sup = r.runtime.supervision
+    assert sup["restarts"] == 2 and sup["crashes"] == 2
+    assert not sup["degraded"]
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+# ---------------------------------------------------------------------------
+# Hang detection
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["conservative", "optimistic"])
+def test_hung_shard_detected_and_restarted(baseline, engine, monkeypatch):
+    monkeypatch.setenv("REPRO_SHARD_DEADLINE", "1")
+    digest, events = baseline
+    r = _run(shards=4, engine=engine,
+             proc_faults=ProcFaultPlan.named("hang-shard"))
+    sup = r.runtime.supervision
+    assert sup["hangs"] == 1 and sup["restarts"] == 1
+    assert not sup["degraded"]
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+def test_slow_worker_is_not_a_false_positive(baseline):
+    """A straggler under the deadline must never trip the detector."""
+    digest, events = baseline
+    r = _run(shards=4, proc_faults=ProcFaultPlan.named("slow-worker"))
+    sup = r.runtime.supervision
+    assert sup["restarts"] == 0 and sup["hangs"] == 0
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder: budget exhausted -> serial, still bit-identical
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["conservative", "optimistic"])
+def test_restart_budget_degrades_to_serial(baseline, engine, monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_SHARD_RESTARTS", "1")
+    digest, events = baseline
+    plan = ProcFaultPlan("kill-every", (
+        ProcFaultRule("kill", shard=1, at_round=3, every_incarnation=True),
+    ))
+    r = _run(shards=4, engine=engine, proc_faults=plan)
+    sup = r.runtime.supervision
+    assert sup["degraded"] is True
+    assert sup["restarts"] == 1  # budget, then surrender
+    assert r.runtime.parallel_rounds is None  # serial path ran
+    if engine == "optimistic":
+        assert all(v == 0 for v in r.runtime.timewarp_stats.values())
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+def test_zero_budget_degrades_on_first_failure(baseline, monkeypatch):
+    monkeypatch.setenv("REPRO_MAX_SHARD_RESTARTS", "0")
+    digest, events = baseline
+    r = _run(shards=4, proc_faults=ProcFaultPlan.named("kill-shard"))
+    sup = r.runtime.supervision
+    assert sup["degraded"] and sup["restarts"] == 0
+    assert _digest(r) == digest
+    assert r.events == events
+
+
+# ---------------------------------------------------------------------------
+# Knob resolution
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_supervise_values(monkeypatch):
+    assert resolve_supervise() is True  # default on
+    for v in ("1", "on", "true", "YES"):
+        monkeypatch.setenv("REPRO_SUPERVISE", v)
+        assert resolve_supervise() is True
+    for v in ("0", "off", "False", "no"):
+        monkeypatch.setenv("REPRO_SUPERVISE", v)
+        assert resolve_supervise() is False
+    monkeypatch.setenv("REPRO_SUPERVISE", "maybe")
+    with pytest.raises(ParallelEngineError, match="REPRO_SUPERVISE"):
+        resolve_supervise()
+
+
+def test_resolve_max_restarts(monkeypatch):
+    assert resolve_max_restarts() == 2
+    monkeypatch.setenv("REPRO_MAX_SHARD_RESTARTS", "5")
+    assert resolve_max_restarts() == 5
+    monkeypatch.setenv("REPRO_MAX_SHARD_RESTARTS", "-1")
+    with pytest.raises(ParallelEngineError, match=">= 0"):
+        resolve_max_restarts()
+    monkeypatch.setenv("REPRO_MAX_SHARD_RESTARTS", "two")
+    with pytest.raises(ParallelEngineError, match="integer"):
+        resolve_max_restarts()
+
+
+def test_resolve_shard_deadline(monkeypatch):
+    assert resolve_shard_deadline() == 120.0
+    monkeypatch.setenv("REPRO_SHARD_DEADLINE", "2.5")
+    assert resolve_shard_deadline() == 2.5
+    monkeypatch.setenv("REPRO_SHARD_DEADLINE", "0")
+    with pytest.raises(ParallelEngineError, match="> 0"):
+        resolve_shard_deadline()
+    monkeypatch.setenv("REPRO_SHARD_DEADLINE", "soon")
+    with pytest.raises(ParallelEngineError, match="seconds"):
+        resolve_shard_deadline()

@@ -1,0 +1,144 @@
+"""ServeClient submit retries: 429 backoff budget, transient errors.
+
+No live server: a scripted ``_request`` replays canned responses, and
+the sleep seam records what the client would have waited.
+"""
+
+import http.client
+import json
+import random
+
+import pytest
+
+from repro.serve.cli import submit_main
+from repro.serve.client import Backpressure, ServeClient, ServeClientError
+
+OK = (202, {}, json.dumps(
+    {"job": "j000001", "digest": "ab" * 32, "status": "queued"}
+).encode())
+BUSY = (429, {"Retry-After": "2"}, json.dumps({"error": "queue full"}).encode())
+
+
+class ScriptedClient(ServeClient):
+    """Replays a script of responses (tuples) or exceptions."""
+
+    def __init__(self, script, **kw):
+        kw.setdefault("rng", random.Random(7))
+        super().__init__("127.0.0.1", 0, **kw)
+        self.script = list(script)
+        self.attempts = 0
+        self.sleeps = []
+        self._sleep = self.sleeps.append
+
+    def _request(self, method, path, body=None):
+        self.attempts += 1
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+
+SPEC = {"kind": "x", "machine": "Abe", "mode": "m", "n_pes": 1, "params": {}}
+
+
+def test_zero_retries_fails_fast():
+    c = ScriptedClient([BUSY], retries=0)
+    with pytest.raises(Backpressure) as exc:
+        c.submit(SPEC)
+    assert c.attempts == 1 and c.sleeps == []
+    assert exc.value.retry_after == 2.0
+
+
+def test_retries_through_429_then_succeeds():
+    c = ScriptedClient([BUSY, BUSY, OK], retries=3)
+    job = c.submit(SPEC)
+    assert job["job"] == "j000001"
+    assert c.attempts == 3
+    assert len(c.sleeps) == 2
+
+
+def test_budget_semantics_total_attempts_is_retries_plus_one():
+    c = ScriptedClient([BUSY] * 10, retries=3)
+    with pytest.raises(Backpressure):
+        c.submit(SPEC)
+    assert c.attempts == 4  # 1 + 3 retries
+    assert len(c.sleeps) == 3
+
+
+def test_backoff_honors_retry_after_with_cap_and_jitter():
+    c = ScriptedClient([], retries=3, backoff_base=0.1, backoff_cap=30.0,
+                       rng=random.Random(1))
+    # Server hint dominates while above the exponential floor ...
+    for attempt in (1, 2, 3):
+        s = c._backoff(attempt, retry_after=2.0)
+        assert 1.0 <= s <= 3.0  # 2.0 * (0.5 + U[0,1))
+    # ... the exponential floor dominates a tiny hint ...
+    s = c._backoff(6, retry_after=0.0)  # 0.1 * 2^5 = 3.2
+    assert 1.6 <= s <= 4.8
+    # ... and the cap bounds everything.
+    s = c._backoff(20, retry_after=1e6)
+    assert s <= 30.0 * 1.5
+
+
+def test_transient_connection_error_retried_once():
+    c = ScriptedClient([ConnectionResetError("boom"), OK], retries=0)
+    assert c.submit(SPEC)["job"] == "j000001"
+    assert c.attempts == 2
+
+
+def test_transient_http_exception_retried_once():
+    c = ScriptedClient(
+        [http.client.BadStatusLine("garbage"), OK], retries=0)
+    assert c.submit(SPEC)["job"] == "j000001"
+    assert c.attempts == 2
+
+
+def test_second_transient_error_escapes():
+    c = ScriptedClient(
+        [ConnectionResetError("a"), ConnectionResetError("b")], retries=3)
+    with pytest.raises(ConnectionError):
+        c.submit(SPEC)
+    assert c.attempts == 2
+
+
+def test_non_2xx_is_not_retried():
+    c = ScriptedClient([(400, {}, b'{"error": "bad"}'), OK], retries=3)
+    with pytest.raises(ServeClientError):
+        c.submit(SPEC)
+    assert c.attempts == 1
+
+
+def test_ctor_rejects_negative_retries():
+    with pytest.raises(ValueError, match="retries"):
+        ServeClient("h", 1, retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# repro submit --retries passthrough
+# ---------------------------------------------------------------------------
+
+
+def test_submit_main_passes_retries(monkeypatch, capsys):
+    captured = {}
+
+    class FakeClient(ServeClient):
+        def __init__(self, host, port, timeout=60.0, retries=0, **kw):
+            super().__init__(host, port, timeout=timeout,
+                             retries=retries, **kw)
+            captured["retries"] = retries
+
+        def submit(self, specs):
+            raise Backpressure({"error": "queue full"}, 2.0)
+
+    import repro.serve.client as client_mod
+    monkeypatch.setattr(client_mod, "ServeClient", FakeClient)
+    rc = submit_main(["--kind", "stencil", "--machine", "Abe", "--retries", "5"])
+    assert rc == 3
+    assert captured["retries"] == 5
+    assert "after 6 attempts" in capsys.readouterr().err
+
+
+def test_submit_main_rejects_negative_retries(capsys):
+    rc = submit_main(["--kind", "stencil", "--machine", "Abe", "--retries", "-2"])
+    assert rc == 2
+    assert "--retries" in capsys.readouterr().err

@@ -1,0 +1,172 @@
+"""Self-healing ResultStore: checksums, quarantine, transparent recompute.
+
+The contract: a corrupt or truncated object is **never served** — it is
+quarantined (preserved under ``objects/.quarantine/``), counted, and
+reported as a miss so the caller recomputes; the recomputed bytes are
+identical and the digest counts as healed.
+"""
+
+import asyncio
+import hashlib
+
+import pytest
+
+from repro.resilience.integrity import (
+    checksum,
+    read_sidecar,
+    sidecar_path,
+    write_sidecar,
+)
+from repro.serve.jobs import JobManager, JobState
+from repro.serve.metrics import ServeMetrics
+from repro.serve.store import QUARANTINE_DIR, ResultStore
+from repro.sweep import RunSpec, register_point
+
+D1 = hashlib.sha256(b"heal-1").hexdigest()
+PAYLOAD = b'{"results": [1, 2, 3]}'
+
+
+def _flip(path, offset=4, mask=0x01):
+    raw = bytearray(path.read_bytes())
+    raw[offset] ^= mask
+    path.write_bytes(bytes(raw))
+
+
+# ---------------------------------------------------------------------------
+# Integrity helpers
+# ---------------------------------------------------------------------------
+
+
+def test_sidecar_roundtrip(tmp_path):
+    obj = tmp_path / "obj"
+    obj.write_bytes(PAYLOAD)
+    assert read_sidecar(obj) is None  # absent
+    write_sidecar(obj, checksum(PAYLOAD))
+    assert read_sidecar(obj) == checksum(PAYLOAD)
+    assert sidecar_path(obj).name == "obj.sum"
+
+
+# ---------------------------------------------------------------------------
+# Store read-path verification
+# ---------------------------------------------------------------------------
+
+
+def test_put_writes_sidecar_and_get_verifies(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(D1, PAYLOAD)
+    assert read_sidecar(store._path(D1)) == checksum(PAYLOAD)
+    assert store.get(D1) == PAYLOAD
+    assert store.corruptions == 0
+
+
+@pytest.mark.parametrize("corruptor", [
+    lambda p: _flip(p),                                  # bit rot
+    lambda p: p.write_bytes(p.read_bytes()[:-3]),        # truncation
+    lambda p: p.write_bytes(b""),                        # emptied
+], ids=["bitflip", "truncated", "emptied"])
+def test_corrupt_object_quarantined_not_served(tmp_path, corruptor):
+    store = ResultStore(tmp_path)
+    store.put(D1, PAYLOAD)
+    corruptor(store._path(D1))
+    assert store.get(D1) is None  # never served
+    assert store.corruptions == 1 and store.quarantined == 1
+    assert D1 not in store
+    q = tmp_path / "objects" / QUARANTINE_DIR
+    assert (q / D1).exists()  # preserved for forensics
+    # heal: the miss-path recompute re-puts identical bytes
+    store.put(D1, PAYLOAD)
+    assert store.healed == 1
+    assert store.get(D1) == PAYLOAD
+
+
+def test_quarantine_survives_reopen_and_is_not_indexed(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(D1, PAYLOAD)
+    _flip(store._path(D1))
+    assert store.get(D1) is None
+    # A fresh scan must not adopt the quarantined object back.
+    reopened = ResultStore(tmp_path)
+    assert len(reopened) == 0
+    assert reopened.get(D1) is None
+
+
+def test_legacy_object_adopted_trust_on_first_use(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(D1, PAYLOAD)
+    sidecar_path(store._path(D1)).unlink()  # pre-sidecar store
+    reopened = ResultStore(tmp_path)
+    assert reopened.get(D1) == PAYLOAD  # served, and adopted:
+    assert read_sidecar(reopened._path(D1)) == checksum(PAYLOAD)
+
+
+def test_verify_off_serves_corrupt_bytes(tmp_path):
+    """The benchmarking escape hatch really does skip verification."""
+    store = ResultStore(tmp_path, verify=False)
+    store.put(D1, PAYLOAD)
+    _flip(store._path(D1))
+    assert store.get(D1) is not None
+    assert store.corruptions == 0
+
+
+def test_eviction_unlinks_sidecar(tmp_path):
+    d2 = hashlib.sha256(b"heal-2").hexdigest()
+    store = ResultStore(tmp_path, max_bytes=len(PAYLOAD) + 4)
+    store.put(D1, PAYLOAD)
+    store.put(d2, PAYLOAD)  # evicts D1
+    assert store.evictions == 1
+    assert not store._path(D1).exists()
+    assert not sidecar_path(store._path(D1)).exists()
+
+
+def test_manifest_reports_healing_counters(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put(D1, PAYLOAD)
+    _flip(store._path(D1))
+    store.get(D1)
+    store.put(D1, PAYLOAD)
+    m = store.manifest()
+    assert m["corruptions"] == 1
+    assert m["quarantined"] == 1
+    assert m["healed"] == 1
+    out = ServeMetrics().to_dict(store=store)
+    assert out["store"]["corruptions"] == 1
+    assert out["store"]["quarantined"] == 1
+    assert out["store"]["healed"] == 1
+
+
+# ---------------------------------------------------------------------------
+# End to end: JobManager transparently recomputes a corrupted result
+# ---------------------------------------------------------------------------
+
+
+@register_point("heal-echo")
+def _echo(spec):
+    return {"x": dict(spec.params)["x"], "events": 3}
+
+
+def test_jobmanager_recomputes_corrupted_result(tmp_path):
+    async def main():
+        store = ResultStore(tmp_path / "store")
+        mgr = JobManager(store, ServeMetrics(), workers=1, max_queue=4)
+        await mgr.start()
+        try:
+            spec = RunSpec.make("heal-echo", "Abe", "m", x=7)
+            j1 = mgr.submit([spec])
+            while not j1.terminal:
+                await asyncio.sleep(0.01)
+            assert j1.state == JobState.DONE
+            payload = store.get(j1.digest)
+            assert payload is not None
+
+            _flip(store._path(j1.digest))
+            j2 = mgr.submit([spec])  # corrupt -> miss -> recompute
+            assert j2 is not j1
+            while not j2.terminal:
+                await asyncio.sleep(0.01)
+            assert j2.state == JobState.DONE
+            assert store.corruptions == 1
+            assert store.healed == 1
+            assert store.get(j2.digest) == payload  # identical bytes
+        finally:
+            await mgr.shutdown()
+    asyncio.run(main())
