@@ -64,6 +64,7 @@ def run_matmul(
     fault_seed: int = 0x0FA11,
     shards: Optional[int] = None,
     engine: Optional[str] = None,
+    transport: Optional[str] = None,
 ) -> MatMulResult:
     """One matmul run on ``n_pes`` PEs with a ``c^3`` chare grid.
 
@@ -80,7 +81,8 @@ def run_matmul(
     spec = MatMulSpec(N, side)
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
     rt = Runtime(machine, n_pes, fault_plan=plan,
-                 shards=resolve_shards(shards), engine=engine)
+                 shards=resolve_shards(shards), engine=engine,
+                 transport=transport)
     monitor = IterationMonitor(rt, None, iterations)
     arr = rt.create_array(
         cls,

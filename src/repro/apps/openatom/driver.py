@@ -100,6 +100,7 @@ def run_openatom(
     fault_seed: int = 0x0FA11,
     shards: Optional[int] = None,
     engine: Optional[str] = None,
+    transport: Optional[str] = None,
     **cfg_overrides,
 ) -> OpenAtomResult:
     """One OpenAtom mini-app run.
@@ -119,7 +120,8 @@ def run_openatom(
     gs_cls, pc_cls = MODES[mode]
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
     rt = Runtime(machine, n_pes, fault_plan=plan,
-                 shards=resolve_shards(shards), engine=engine)
+                 shards=resolve_shards(shards), engine=engine,
+                 transport=transport)
     monitor = OpenAtomMonitor(rt, cfg.iterations)
     gs = rt.create_array(
         gs_cls, dims=(cfg.nstates, cfg.nplanes), ctor_args=(cfg, monitor)

@@ -67,6 +67,7 @@ def run_stencil(
     shards: Optional[int] = None,
     engine: Optional[str] = None,
     proc_faults: Optional["ProcFaultPlan"] = None,
+    transport: Optional[str] = None,
 ) -> StencilResult:
     """One stencil run.  ``vr`` chares per PE, near-cubic blocks.
 
@@ -88,7 +89,7 @@ def run_stencil(
     plan = FaultPlan.named(faults, fault_seed) if faults is not None else None
     rt = Runtime(machine, n_pes, fault_plan=plan,
                  shards=resolve_shards(shards), engine=engine,
-                 proc_faults=proc_faults)
+                 proc_faults=proc_faults, transport=transport)
     monitor_box: list = []
 
     # The monitor needs the proxy, the array ctor needs the monitor:

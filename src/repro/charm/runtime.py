@@ -85,11 +85,13 @@ class Runtime:
         shards: Optional[int] = None,
         engine: Optional[str] = None,
         proc_faults: Optional["ProcFaultPlan"] = None,
+        transport: Optional[str] = None,
     ) -> None:
         if n_pes <= 0:
             raise CharmError(f"n_pes must be positive, got {n_pes}")
         if shards is not None and shards < 1:
             raise CharmError(f"shards must be >= 1, got {shards}")
+        from ..sim.shm import resolve_transport
         from ..sim.timewarp import resolve_engine
 
         #: parallel-engine mode: "conservative" (epoch windows) or
@@ -99,6 +101,11 @@ class Runtime:
         #: regardless of the mode (same rule as the conservative
         #: engine's fallback).
         self.engine = resolve_engine(engine)
+        #: shard IPC transport: "pipe" (Connection reference path) or
+        #: "shm" (one-sided sentinel rings, see repro.sim.shm).
+        #: Resolved flag > REPRO_TRANSPORT > default; results are
+        #: bit-identical either way — the knob only moves bytes.
+        self.transport = resolve_transport(transport)
         self.machine = machine
         # Honors REPRO_EVENTQ / --eventq; every implementation pops
         # the same (time, priority, seq) order, so results are
@@ -189,6 +196,10 @@ class Runtime:
         #: :meth:`repro.resilience.ShardSupervisor.report`), or None
         #: when the run was serial or supervision was off.
         self.supervision: Optional[Dict[str, Any]] = None
+        #: coordinator-side transport counters of the last sharded run
+        #: (transport name, frames, bytes, spills), or None when the
+        #: run was serial.
+        self.transport_stats: Optional[Dict[str, Any]] = None
         if shards is not None and self.fault_injector is None \
                 and self.reliability is None:
             # Engine semantics: requested explicitly and no fault/

@@ -41,14 +41,21 @@ and anti-messages; output is byte-identical for either mode, making
 it the fourth pure wall-clock knob (it matters only with
 ``--shards``).
 
-Precedence for all four knobs is **flag over environment over
+``--transport NAME`` (or ``REPRO_TRANSPORT=NAME``) selects the shard
+IPC transport — ``pipe`` (the Connection reference path, default) or
+``shm`` (one-sided shared-memory rings with sentinel completion, the
+paper's own mechanism applied to our IPC); output is byte-identical
+for either transport, making it the fifth pure wall-clock knob (it
+too matters only with ``--shards``).
+
+Precedence for all five knobs is **flag over environment over
 default**: an explicit ``--jobs``/``--shards``/``--eventq``/
-``--engine`` always wins (the flag is exported into the matching env
-var so indirectly-run sweeps see it too); ``REPRO_JOBS``/
-``REPRO_SHARDS``/``REPRO_EVENTQ``/``REPRO_ENGINE`` apply only when
-the flag is absent.  Values below 1, non-integer env strings, or
-unknown queue/engine names are rejected with a one-line error, never
-silently clamped.
+``--engine``/``--transport`` always wins (the flag is exported into
+the matching env var so indirectly-run sweeps see it too);
+``REPRO_JOBS``/``REPRO_SHARDS``/``REPRO_EVENTQ``/``REPRO_ENGINE``/
+``REPRO_TRANSPORT`` apply only when the flag is absent.  Values below
+1, non-integer env strings, or unknown queue/engine/transport names
+are rejected with a one-line error, never silently clamped.
 
 ``repro serve`` starts the async simulation job server (persistent
 content-addressed result cache + bounded SweepRunner pool) and
@@ -79,6 +86,7 @@ from .bench import (
 from .network.params import MACHINES
 from .projections.eventlog import EventLog, install_tracer, uninstall_tracer
 from .sim.eventq import EVENTQ_CHOICES
+from .sim.shm import TRANSPORT_CHOICES, TransportError
 from .sim.timewarp import ENGINE_CHOICES
 from .projections.export import write_chrome_trace
 
@@ -166,6 +174,13 @@ def _parser() -> argparse.ArgumentParser:
                         "optimistic (Time Warp speculation with "
                         "rollback; default: $REPRO_ENGINE; output is "
                         "identical for either mode)")
+    p.add_argument("--transport", default=None, metavar="NAME",
+                   choices=list(TRANSPORT_CHOICES),
+                   help="shard IPC transport: pipe (Connection "
+                        "reference path, the default) or shm (one-"
+                        "sided shared-memory rings with sentinel "
+                        "completion; default: $REPRO_TRANSPORT; "
+                        "output is identical for either transport)")
     return p
 
 
@@ -239,6 +254,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # construction; only meaningful together with --shards (the
         # serial engine has nothing to synchronize).
         os.environ["REPRO_ENGINE"] = args.engine
+    if args.transport is not None:
+        # Runtimes resolve their shard transport from REPRO_TRANSPORT
+        # at construction; like --engine it only moves bytes when
+        # --shards actually forks workers.
+        os.environ["REPRO_TRANSPORT"] = args.transport
 
     if args.artifact == "list":
         entries = {**ARTIFACTS, **COMMANDS}
@@ -344,9 +364,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                            run_backward_path_ablation):
                 print(runner()["report"])
                 print()
-    except (SweepError, ParallelEngineError) as exc:
-        # Typically malformed REPRO_JOBS / REPRO_SHARDS env values:
-        # surface the one-line message, not a deep traceback.
+    except (SweepError, ParallelEngineError, TransportError) as exc:
+        # Typically malformed REPRO_JOBS / REPRO_SHARDS /
+        # REPRO_TRANSPORT env values: surface the one-line message,
+        # not a deep traceback.
         print(f"error: {exc}", file=sys.stderr)
         exit_code = 2
     finally:

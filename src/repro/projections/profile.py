@@ -97,8 +97,11 @@ def engine_summary(log: EventLog, wall_s: float) -> Dict[str, object]:
     :mod:`repro.sim.eventq`), so dashboards can attribute wall-clock
     speedups to the queue rather than to workload changes.
     """
+    from ..sim.shm import resolve_transport
+
     events = 0
     impls: List[str] = []
+    transport_stats: Optional[Dict[str, object]] = None
     for _label, owner, _n in log.runs:
         sim = getattr(owner, "sim", None)
         if sim is None:
@@ -107,8 +110,17 @@ def engine_summary(log: EventLog, wall_s: float) -> Dict[str, object]:
         name = eventq_name(sim)
         if name not in impls:
             impls.append(name)
+        ts = getattr(owner, "transport_stats", None)
+        if ts is not None:
+            if transport_stats is None:
+                transport_stats = dict(ts)
+            else:
+                for k in ("frames", "bytes", "spills"):
+                    transport_stats[k] += ts.get(k, 0)
     return {
         "eventq": impls[0] if len(impls) == 1 else (impls or ["unknown"]),
+        "transport": resolve_transport(),
+        "transport_stats": transport_stats,
         "events": events,
         "wall_s": round(wall_s, 6),
         "events_per_s": round(events / wall_s, 1) if wall_s > 0 else 0.0,
@@ -167,9 +179,16 @@ def render_profile(log: EventLog, headline: str = "",
     if engine is not None:
         lines.append(
             f"engine: eventq={engine['eventq']}, "
+            f"transport={engine.get('transport', 'pipe')}, "
             f"{engine['events']} sim events, "
             f"{engine['events_per_s'] / 1e6:.2f} M events/s"
         )
+        ts = engine.get("transport_stats")
+        if ts is not None:
+            lines.append(
+                f"transport: {ts['transport']}, {ts['frames']} frames, "
+                f"{ts['bytes']} bytes, {ts['spills']} spills"
+            )
     lines.append("")
     lines.append(f"{'category':<10} {'events':>8} {'time (us)':>12} {'% busy':>8}")
     order = sorted(cats.items(), key=lambda kv: kv[1]["time"], reverse=True)

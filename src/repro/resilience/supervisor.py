@@ -46,6 +46,7 @@ from ..sim.parallel import (
     _reap_shard,
     _run_serial_inline,
 )
+from ..sim.shm import channel_pair, merge_channel_stats
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..charm.runtime import Runtime
@@ -155,6 +156,7 @@ class ShardSupervisor:
         self.n = len(blocks)
         self.worker = worker
         self.worker_extra = tuple(worker_extra)
+        self.transport = rt.transport
         self.deadline = resolve_shard_deadline()
         self.max_restarts = resolve_max_restarts()
         self.restarts = 0
@@ -165,13 +167,23 @@ class ShardSupervisor:
         self.conns: List[Any] = [None] * self.n
         self.procs: List[Any] = [None] * self.n
         self.pending_discard = [False] * self.n
+        #: channel stats of reaped incarnations (each channel is reaped
+        #: exactly once, so summing these never double-counts).
+        self._retired_stats: List[dict] = []
         for s in range(self.n):
             self._spawn(s)
 
     # -- process lifecycle ---------------------------------------------
 
     def _spawn(self, shard: int) -> None:
-        parent, child = self.ctx.Pipe(duplex=True)
+        # A fresh channel per incarnation: a crashed writer may have
+        # left a half-committed frame, and under --transport shm the
+        # replacement must start from pristine (all-zero) rings — the
+        # dead incarnation's segments are unlinked in _reap.
+        parent, child = channel_pair(
+            self.ctx, self.transport,
+            f"s{shard}i{self.incarnations[shard]}",
+        )
         p = self.ctx.Process(
             target=self.worker,
             args=(self.rt, shard, self.blocks[shard], child)
@@ -189,7 +201,12 @@ class ShardSupervisor:
         self.procs[shard] = p
 
     def _reap(self, shard: int, graceful_timeout: float = 0.1) -> None:
-        _reap_shard(self.conns[shard], self.procs[shard],
+        conn = self.conns[shard]
+        if conn is not None:
+            stats = getattr(conn, "stats", None)
+            if stats is not None:
+                self._retired_stats.append(stats.as_dict())
+        _reap_shard(conn, self.procs[shard],
                     graceful_timeout=graceful_timeout)
         self.conns[shard] = None
         self.procs[shard] = None
@@ -325,6 +342,17 @@ class ShardSupervisor:
             "degraded": degraded,
         }
 
+    def transport_stats(self) -> dict:
+        """Coordinator-side transport counters across every
+        incarnation: retired channels plus any still live."""
+        out = merge_channel_stats(
+            self.transport, (c for c in self.conns if c is not None)
+        )
+        for d in self._retired_stats:
+            for k in ("frames", "bytes", "spills"):
+                out[k] += d.get(k, 0)
+        return out
+
 
 # ---------------------------------------------------------------------------
 # Supervised coordinator loops (one per engine)
@@ -341,6 +369,7 @@ def _degrade_to_serial(rt: "Runtime", sup: ShardSupervisor) -> float:
     now = _run_serial_inline(rt)
     rt.parallel_rounds = None
     rt.supervision = sup.report(degraded=True)
+    rt.transport_stats = sup.transport_stats()
     return now
 
 
@@ -386,6 +415,7 @@ def supervise_conservative(rt: "Runtime", ctx, blocks: List[range],
     rt.shard_cpu_times = [p["cpu"] for p in finals]
     rt.parallel_rounds = rounds
     rt.supervision = sup.report()
+    rt.transport_stats = sup.transport_stats()
     return rt.sim.now
 
 
@@ -430,4 +460,5 @@ def supervise_timewarp(rt: "Runtime", ctx, blocks: List[range],
     rt.timewarp_stats = stats
     rt.parallel_rounds = planner.rounds
     rt.supervision = sup.report()
+    rt.transport_stats = sup.transport_stats()
     return rt.sim.now

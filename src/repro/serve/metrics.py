@@ -14,6 +14,7 @@ import time
 from typing import Dict, Tuple
 
 from ..sim.eventq import resolved_eventq_name
+from ..sim.shm import resolve_transport
 from ..sim.timewarp import resolve_engine
 from ..sim.trace import RunningStats
 from ..util.stats import LatencyHistogram
@@ -43,6 +44,7 @@ class ServeMetrics:
         # no throwaway simulator needs to be built to learn it.
         self.eventq = resolved_eventq_name()
         self.engine = resolve_engine()
+        self.transport = resolve_transport()
         # per-(kind, hit|miss) latency
         self._hist: Dict[Tuple[str, str], LatencyHistogram] = {}
         self._stats: Dict[Tuple[str, str], RunningStats] = {}
@@ -87,6 +89,7 @@ class ServeMetrics:
             "engine": {
                 "eventq": self.eventq,
                 "mode": self.engine,
+                "transport": self.transport,
                 "events": self.sim_events,
                 "events_per_s": (
                     round(self.sim_events / self.sim_wall_s, 1)

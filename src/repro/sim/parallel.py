@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..network.topology import shard_nodes
 from ..util.buffers import Buffer
+from .shm import channel_pair, merge_channel_stats
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..charm.runtime import Runtime
@@ -550,13 +551,18 @@ def _fork_plan(rt: "Runtime") -> Tuple[int, Optional[Any]]:
 
 
 def _reap_shard(conn, proc, graceful_timeout: float = 30.0) -> Optional[int]:
-    """Tear one shard down without leaking a zombie or its pipe fds.
+    """Tear one shard down without leaking a zombie, its pipe fds, or
+    its shared-memory segments.
 
-    Ladder: close our pipe end, join; if still alive ``terminate()``
+    Ladder: close our channel end, join; if still alive ``terminate()``
     and re-join *bounded*; a worker wedged with SIGTERM ignored gets
-    ``kill()`` (SIGKILL, uncatchable) and a final reap.  Returns the
-    exit code (None only if the child survived SIGKILL, which the
-    kernel does not allow for an unblocked process).
+    ``kill()`` (SIGKILL, uncatchable) and a final reap.  Once the
+    process is dead the channel's persistent resources are unlinked
+    (``--transport shm``: both ring segments plus any spill segments
+    the worker abandoned — no ``/dev/shm`` entry survives even a
+    SIGKILL).  Returns the exit code (None only if the child survived
+    SIGKILL, which the kernel does not allow for an unblocked
+    process).
     """
     if conn is not None:
         try:
@@ -573,6 +579,10 @@ def _reap_shard(conn, proc, graceful_timeout: float = 30.0) -> Optional[int]:
     code = proc.exitcode
     if code is not None:
         proc.close()  # release the Process object's fds now, not at gc
+    if conn is not None:
+        unlink = getattr(conn, "unlink", None)
+        if unlink is not None:
+            unlink()
     return code
 
 
@@ -603,18 +613,18 @@ def run_sharded(rt: "Runtime") -> float:
     if resolve_supervise():
         return supervise_conservative(rt, ctx, blocks, delta)
 
-    pipes = [ctx.Pipe(duplex=True) for _ in range(n - 1)]
+    pairs = [channel_pair(ctx, rt.transport, f"s{s}") for s in range(1, n)]
     procs = []
     for s in range(1, n):
         p = ctx.Process(
             target=_shard_worker,
-            args=(rt, s, blocks[s], pipes[s - 1][1]),
+            args=(rt, s, blocks[s], pairs[s - 1][1]),
             daemon=True, name=f"shard{s}",
         )
         p.start()
-        pipes[s - 1][1].close()
+        pairs[s - 1][1].close()
         procs.append(p)
-    conns = [pc for pc, _ in pipes]
+    conns = [pc for pc, _ in pairs]
 
     try:
         base = _enter_shard(rt, 0, blocks[0])
@@ -652,6 +662,7 @@ def run_sharded(rt: "Runtime") -> float:
             cpu.append(msg[1]["cpu"])
         rt.shard_cpu_times = cpu
         rt.parallel_rounds = rounds
+        rt.transport_stats = merge_channel_stats(rt.transport, conns)
     finally:
         for conn, p in zip(conns, procs):
             _reap_shard(conn, p)

@@ -742,18 +742,20 @@ def run_timewarp(rt: "Runtime") -> float:
     if resolve_supervise():
         return supervise_timewarp(rt, ctx, blocks, delta, horizon, cp_events)
 
-    pipes = [ctx.Pipe(duplex=True) for _ in range(n - 1)]
+    from .shm import channel_pair, merge_channel_stats
+
+    pairs = [channel_pair(ctx, rt.transport, f"s{s}") for s in range(1, n)]
     procs = []
     for s in range(1, n):
         p = ctx.Process(
             target=_timewarp_worker,
-            args=(rt, s, blocks[s], pipes[s - 1][1], cp_events),
+            args=(rt, s, blocks[s], pairs[s - 1][1], cp_events),
             daemon=True, name=f"shard{s}",
         )
         p.start()
-        pipes[s - 1][1].close()
+        pairs[s - 1][1].close()
         procs.append(p)
-    conns = [pc for pc, _ in pipes]
+    conns = [pc for pc, _ in pairs]
 
     try:
         base = _enter_shard(rt, 0, blocks[0])
@@ -799,6 +801,7 @@ def run_timewarp(rt: "Runtime") -> float:
         rt.shard_cpu_times = cpu
         rt.timewarp_stats = stats
         rt.parallel_rounds = stats["gvt_rounds"]
+        rt.transport_stats = merge_channel_stats(rt.transport, conns)
     finally:
         for conn, p in zip(conns, procs):
             _reap_shard(conn, p)
