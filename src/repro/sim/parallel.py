@@ -613,18 +613,24 @@ def run_sharded(rt: "Runtime") -> float:
     if resolve_supervise():
         return supervise_conservative(rt, ctx, blocks, delta)
 
-    pairs = [channel_pair(ctx, rt.transport, f"s{s}") for s in range(1, n)]
+    conns: List[Any] = []
     procs = []
     for s in range(1, n):
+        # Pair construction is interleaved with the forks: each child
+        # end is closed before the next pair exists, so no worker
+        # inherits a sibling's lifeline child end — otherwise the
+        # coordinator's EOF signal for a crashed shard would not fire
+        # until every later-started sibling also exited.
+        parent_end, child_end = channel_pair(ctx, rt.transport, f"s{s}")
         p = ctx.Process(
             target=_shard_worker,
-            args=(rt, s, blocks[s], pairs[s - 1][1]),
+            args=(rt, s, blocks[s], child_end),
             daemon=True, name=f"shard{s}",
         )
         p.start()
-        pairs[s - 1][1].close()
+        child_end.close()
+        conns.append(parent_end)
         procs.append(p)
-    conns = [pc for pc, _ in pairs]
 
     try:
         base = _enter_shard(rt, 0, blocks[0])

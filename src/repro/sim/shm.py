@@ -48,9 +48,13 @@ Ownership rules (the CkDirect discipline):
 * If the contiguous space to the end of the ring is too small for a
   frame, the writer stores the 4-byte ``WRAP`` marker there — after
   fully committing the frame at offset 0 — and the reader skips.
-* A frame larger than the ring **spills**: the payload moves through
-  a one-shot shared-memory segment whose name travels in a small
-  spill frame; the reader attaches, copies, and unlinks it.
+* A frame larger than **half** the ring **spills**: the payload moves
+  through a one-shot shared-memory segment whose name travels in a
+  small spill frame; the reader attaches, copies, and unlinks it.
+  (Half, not whole: a wrapping write must reserve the dead bytes to
+  the edge *plus* the frame at offset 0, up to twice the frame's
+  extent — a bigger in-ring frame could find the ring drained and
+  still never fit, spinning forever against a live peer.)
 
 Corruption: a length word whose implied extent oversteps the ring
 edge, or a frame whose ``seq`` is not the reader's expected next
@@ -316,9 +320,13 @@ class _Ring:
 
     def max_payload(self) -> int:
         """Largest payload that can travel in-ring (larger spills)."""
-        # One frame, a potential WRAP marker, and the zero-ahead word
-        # must always fit together.
-        return self.capacity - 32
+        # A wrapping write needs ``rem + total + 8`` bytes (dead bytes
+        # to the edge, the frame at offset 0, the zero-ahead word) and
+        # ``rem`` can be as large as ``total - 8``, so only frames with
+        # ``2 * total <= capacity`` are guaranteed writable on a fully
+        # drained ring from EVERY head offset.  Anything bigger must
+        # spill or a send could spin forever against a live peer.
+        return (self.capacity - 8) // 2 - 16
 
     def _refresh_free(self) -> int:
         buf = self.buf
@@ -337,6 +345,11 @@ class _Ring:
     def try_write(self, payload, flags: int = 0) -> bool:
         """Write one frame; False if the ring lacks space right now."""
         size = len(payload)
+        if size == 0:
+            # A 0 length word is the reader's "no frame yet" marker: an
+            # empty frame would be committed yet permanently invisible,
+            # and the frame behind it would then fail the seq check.
+            raise TransportError("zero-length frames cannot be framed")
         total = (_FRAME_HDR + size + 8) & ~7  # frame + sentinel, 8-aligned
         cap = self.capacity
         pos = self._head - (self._head // cap) * cap
@@ -468,6 +481,7 @@ _YIELD = 4000
 _NAP_SHORT = 5e-5
 _NAP_LONG = 5e-4
 _NAP_LADDER = 20000
+_POLL_SLICE = 0.05
 
 
 class _ChannelStats:
@@ -621,7 +635,17 @@ class ShmChannel:
 
     def poll(self, timeout: float = 0.0) -> bool:
         """True when a frame is committed *or* the peer is gone (the
-        Connection convention: EOF counts as readable)."""
+        Connection convention: EOF counts as readable).
+
+        Unlike the data-path waits, a poll can be a supervisor's
+        multi-second deadline watch on a busy or hung shard, so past
+        the spin/yield phase the sleep primitive is the *lifeline's*
+        ``select`` — the wait blocks in the kernel instead of burning
+        a core, and peer death ends it immediately.  The slice starts
+        at the short-nap pitch and lengthens once the wait is clearly
+        idle; a frame landing mid-slice is noticed at most
+        ``_POLL_SLICE`` late, noise next to a wait that long.
+        """
         t_end = None if timeout is None else time.monotonic() + timeout
         spins = 0
         while True:
@@ -630,7 +654,19 @@ class ShmChannel:
             if t_end is not None and time.monotonic() >= t_end:
                 return False
             spins += 1
-            self._nap(spins)
+            if spins < _SPIN:
+                continue
+            if spins < _YIELD:
+                os.sched_yield()
+                continue
+            slice_ = _NAP_SHORT if spins < _NAP_LADDER else _POLL_SLICE
+            if t_end is not None:
+                slice_ = min(slice_, max(0.0, t_end - time.monotonic()))
+            try:
+                if self.lifeline.poll(slice_):
+                    return True  # lifeline readable == EOF == peer gone
+            except (OSError, ValueError):
+                return True
 
     def _wait_frame(self, timeout=None) -> Optional[Tuple[bytes, bool]]:
         rx = self.rx

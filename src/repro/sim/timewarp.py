@@ -744,18 +744,24 @@ def run_timewarp(rt: "Runtime") -> float:
 
     from .shm import channel_pair, merge_channel_stats
 
-    pairs = [channel_pair(ctx, rt.transport, f"s{s}") for s in range(1, n)]
+    conns = []
     procs = []
     for s in range(1, n):
+        # Interleave pair construction with the forks (close each
+        # child end before the next pair exists) so no worker inherits
+        # a sibling's lifeline child end — otherwise the coordinator's
+        # EOF signal for a crashed shard would not fire until every
+        # later-started sibling also exited.
+        parent_end, child_end = channel_pair(ctx, rt.transport, f"s{s}")
         p = ctx.Process(
             target=_timewarp_worker,
-            args=(rt, s, blocks[s], pairs[s - 1][1], cp_events),
+            args=(rt, s, blocks[s], child_end, cp_events),
             daemon=True, name=f"shard{s}",
         )
         p.start()
-        pairs[s - 1][1].close()
+        child_end.close()
+        conns.append(parent_end)
         procs.append(p)
-    conns = [pc for pc, _ in pairs]
 
     try:
         base = _enter_shard(rt, 0, blocks[0])

@@ -21,6 +21,7 @@ import hashlib
 import multiprocessing as mp
 import pickle
 import struct
+import time
 
 import numpy as np
 import pytest
@@ -155,6 +156,101 @@ def test_frame_invisible_until_sentinel_lands():
         view.release()
     finally:
         child.close()
+        parent.unlink()
+
+
+class _HeapSeg:
+    """A ``_Ring`` backing store on plain process memory — exercises
+    the ring arithmetic without touching ``/dev/shm``."""
+
+    def __init__(self, size):
+        self.buf = memoryview(bytearray(size))
+        self.name = "heap"
+
+    def close(self):
+        pass
+
+
+def test_max_payload_frame_fits_at_every_head_offset():
+    """Regression: a wrapping write must reserve the dead bytes to the
+    ring edge *plus* the relocated frame, so any payload ``send``
+    keeps in-ring has to fit on a drained ring from EVERY head offset.
+    The old ``capacity - 32`` bound admitted half-ring-plus frames
+    that could never satisfy that reservation — ``try_write`` returned
+    False forever and ``send`` spun against a live peer."""
+    cap = 4096
+    probe = shm._Ring(_HeapSeg(shm._HDR + cap), cap)
+    # the wrap worst case needs 2x the frame extent; max_payload must
+    # guarantee it fits
+    extent = (probe.max_payload() + shm._FRAME_HDR + 8) & ~7
+    assert 2 * extent <= cap
+    big = b"\xa5" * probe.max_payload()
+    # reachable head offsets are 0 and every multiple of 8 >= 16
+    for offset in (0, *range(16, cap, 8)):
+        ring = shm._Ring(_HeapSeg(shm._HDR + cap), cap)
+        if offset:
+            # one filler frame of extent == offset, drained immediately
+            assert ring.try_write(b"\0" * (offset - 9))
+            view, _ = ring.try_read()
+            view.release()
+            ring.consume()
+            assert ring._head == offset
+        assert ring.try_write(big), f"max payload stuck at offset {offset}"
+        view, _ = ring.try_read()
+        assert bytes(view) == big
+        view.release()
+        ring.consume()
+
+
+def test_over_half_ring_payload_spills_not_deadlocks(monkeypatch):
+    """A payload past half the ring takes the spill path — in-ring it
+    could find the ring fully drained and still never fit once a wrap
+    is needed — and the ring path stays healthy around it."""
+    monkeypatch.setenv("REPRO_SHM_RING", "4096")
+    parent, child = _shm_pair("half")
+    try:
+        big = b"y" * 2080  # pickles past half the 4 KiB ring
+        for i in range(8):
+            mid = b"m" * (1500 + 8 * i)  # in-ring; walks the head
+            parent.send(mid)
+            assert child.recv() == mid
+            parent.send(big)
+            assert child.recv() == big
+        assert parent.stats.spills == 8
+    finally:
+        child.close()
+        parent.unlink()
+
+
+def test_zero_length_frame_rejected():
+    """A 0 length word is the reader's 'no frame yet' marker: framing
+    an empty payload would commit a permanently invisible frame and
+    desync the seq check on the frame behind it."""
+    ring = shm._Ring(_HeapSeg(shm._HDR + 4096), 4096)
+    with pytest.raises(TransportError, match="zero-length"):
+        ring.try_write(b"")
+
+
+def test_poll_wakes_on_peer_death_mid_timeout():
+    """A long poll parks in the lifeline's select once the ring stays
+    quiet; the peer dying mid-slice must wake it immediately (EOF
+    counts as readable, the Connection convention), not at the
+    timeout."""
+    parent, child = _shm_pair("pollwake")
+
+    def _worker(ch):
+        time.sleep(0.4)
+        ch.close()
+
+    proc = CTX.Process(target=_worker, args=(child,))
+    proc.start()
+    child.close()
+    try:
+        t0 = time.monotonic()
+        assert parent.poll(30.0) is True
+        assert time.monotonic() - t0 < 10.0
+    finally:
+        proc.join()
         parent.unlink()
 
 
